@@ -1,0 +1,56 @@
+//! P1 — standard NoC evaluation: load–latency curves on a 4x4 mesh under
+//! uniform, transpose and hotspot traffic. Not a figure in the DATE'05
+//! deck, but the canonical performance characterisation of any wormhole
+//! NoC and the regression anchor for the simulator.
+
+use criterion::{black_box, Criterion};
+use xpipes_bench::experiments::{eval_mesh, load_latency};
+use xpipes_bench::Table;
+use xpipes_traffic::pattern::Pattern;
+use xpipes_traffic::runner::measure;
+
+fn print_tables() {
+    let rates = [0.005, 0.01, 0.02, 0.04, 0.08, 0.15];
+    for pattern in [
+        Pattern::Uniform,
+        Pattern::Transpose,
+        Pattern::Hotspot {
+            target: 0,
+            fraction: 0.5,
+        },
+    ] {
+        let pts = load_latency(pattern, &rates).expect("sweep");
+        println!(
+            "\n== P1: load–latency, 4x4 mesh, {} traffic ==",
+            pattern.name()
+        );
+        let mut t = Table::new(&[
+            "offered (pkt/cyc/node)",
+            "accepted (pkt/cyc)",
+            "avg latency (cyc)",
+            "p95 (cyc)",
+            "max (cyc)",
+        ]);
+        for p in &pts {
+            t.row_owned(vec![
+                format!("{:.3}", p.offered),
+                format!("{:.3}", p.accepted_packets_per_cycle),
+                format!("{:.1}", p.avg_latency_cycles),
+                format!("{:.0}", p.p95_latency_cycles),
+                format!("{:.0}", p.max_latency_cycles),
+            ]);
+        }
+        print!("{t}");
+    }
+    println!();
+}
+
+fn main() {
+    print_tables();
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("measure_uniform_point_4x4", |b| {
+        let spec = eval_mesh(4).expect("mesh");
+        b.iter(|| measure(black_box(&spec), Pattern::Uniform, 0.02, 100, 500, 3).expect("measured"))
+    });
+    c.final_summary();
+}

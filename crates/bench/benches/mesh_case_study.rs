@@ -1,0 +1,61 @@
+//! E5 — "The Power of Abstraction: Mesh Case Study": per-component area
+//! across flit widths, and the paper's headline claim that a 3x4 xpipes
+//! mesh serving 8 processors and 11 slaves occupies ~2.6 mm² (with the
+//! initiator NI / target NI / 4x4 switch at 1 GHz and the 6x4 switch at
+//! 875–980 MHz).
+
+use criterion::{black_box, Criterion};
+use xpipes_bench::experiments::mesh_case_study;
+use xpipes_bench::Table;
+use xpipes_sunmap::{apps, build_spec, map_to_mesh};
+
+fn print_tables() {
+    let study = mesh_case_study().expect("mesh case study");
+
+    println!("\n== E5: component area vs flit width (mm²) ==");
+    let mut t = Table::new(&[
+        "flit width",
+        "initiator NI",
+        "target NI",
+        "4x4 switch",
+        "6x4 switch",
+    ]);
+    for (w, ini, tgt, s44, s64) in &study.component_rows {
+        t.row_owned(vec![
+            w.to_string(),
+            format!("{ini:.4}"),
+            format!("{tgt:.4}"),
+            format!("{s44:.4}"),
+            format!("{s64:.4}"),
+        ]);
+    }
+    print!("{t}");
+
+    for (w, total) in &study.mesh_totals_mm2 {
+        println!(
+            "\n3x4 mesh, 8 processors + 11 slaves, {w}-bit flits: {total:.2} mm² \
+             (paper: ~2.6 mm²)"
+        );
+    }
+    println!(
+        "frequencies (32-bit, max effort): NI {:.0} MHz, 4x4 {:.0} MHz, 6x4 {:.0} MHz \
+         (6x4/4x4 ratio {:.2}; paper: 875–980 MHz vs 1 GHz)\n",
+        study.fmax_ni_mhz,
+        study.fmax_4x4_mhz,
+        study.fmax_6x4_mhz,
+        study.fmax_6x4_mhz / study.fmax_4x4_mhz
+    );
+}
+
+fn main() {
+    print_tables();
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("map_d26_onto_3x4_mesh", |b| {
+        let graph = apps::d26_media_soc();
+        b.iter(|| {
+            let m = map_to_mesh(black_box(&graph), 3, 4, 2, 1).expect("fits");
+            build_spec(&graph, &m, 64).expect("valid spec")
+        })
+    });
+    c.final_summary();
+}

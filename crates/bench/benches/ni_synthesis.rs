@@ -1,0 +1,51 @@
+//! E1 + E2 — "NI Synthesis Results": area (mm²) and power (mW) of the
+//! initiator and target network interfaces across the paper's flit-width
+//! sweep (16/32/64/128), synthesized for the 1 GHz @ 130 nm target.
+
+use criterion::{black_box, Criterion};
+use xpipes::config::NiConfig;
+use xpipes_bench::experiments::{ni_synthesis, FLIT_WIDTHS, TARGET_MHZ};
+use xpipes_bench::Table;
+use xpipes_synth::components::initiator_ni_netlist;
+use xpipes_synth::report::synthesize;
+
+fn print_tables() {
+    let rows = ni_synthesis(&FLIT_WIDTHS).expect("NI synthesis");
+
+    println!("\n== E1: NI synthesis — area (mm²) ==");
+    let mut area = Table::new(&["flit width", "initiator NI", "target NI"]);
+    for r in &rows {
+        area.row_owned(vec![
+            r.flit_width.to_string(),
+            format!("{:.4}", r.initiator.area_mm2),
+            format!("{:.4}", r.target.area_mm2),
+        ]);
+    }
+    print!("{area}");
+
+    println!("\n== E2: NI synthesis — power (mW @ 1 GHz) ==");
+    let mut power = Table::new(&["flit width", "initiator NI", "target NI"]);
+    for r in &rows {
+        power.row_owned(vec![
+            r.flit_width.to_string(),
+            format!("{:.2}", r.initiator.power_mw),
+            format!("{:.2}", r.target.power_mw),
+        ]);
+    }
+    print!("{power}");
+    println!(
+        "\npaper anchors: area grows with flit width; initiator > target; \
+         NI meets 1 GHz (measured fmax {:.0} MHz at w=32)\n",
+        rows[1].initiator.fmax_mhz
+    );
+}
+
+fn main() {
+    print_tables();
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("synthesize_initiator_ni_w32", |b| {
+        let netlist = initiator_ni_netlist(&NiConfig::new(32));
+        b.iter(|| synthesize(black_box(&netlist), TARGET_MHZ).expect("reachable"))
+    });
+    c.final_summary();
+}

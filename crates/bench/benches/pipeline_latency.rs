@@ -1,0 +1,52 @@
+//! E8 — "Lower Latency (7 to 2 stage switches)": the xpipes Lite redesign
+//! cut the switch pipeline from 7 stages to 2; this bench measures the
+//! end-to-end effect of that change on a read transaction.
+
+use criterion::{black_box, Criterion};
+use xpipes::noc::Noc;
+use xpipes_bench::experiments::{eval_mesh, pipeline_latency};
+use xpipes_bench::Table;
+use xpipes_ocp::Request;
+use xpipes_topology::NiKind;
+
+fn print_tables() {
+    let p = pipeline_latency().expect("latency measurement");
+    println!("\n== E8: switch pipeline depth — transaction latency ==");
+    let mut t = Table::new(&["switch generation", "read round trip (cycles)"]);
+    t.row_owned(vec![
+        "xpipes Lite (2-stage)".into(),
+        format!("{:.1}", p.lite_cycles),
+    ]);
+    t.row_owned(vec![
+        "first-gen (7-stage)".into(),
+        format!("{:.1}", p.legacy_cycles),
+    ]);
+    print!("{t}");
+    println!(
+        "\nlatency saved: {:.1} cycles over 4 switch traversals ({:.1} per traversal; \
+         paper: 5 stages removed per switch)\n",
+        p.legacy_cycles - p.lite_cycles,
+        (p.legacy_cycles - p.lite_cycles) / 4.0
+    );
+}
+
+fn main() {
+    print_tables();
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("simulate_read_4x4_mesh", |b| {
+        let spec = eval_mesh(4).expect("mesh");
+        let cpu = spec
+            .topology
+            .nis_of_kind(NiKind::Initiator)
+            .next()
+            .expect("has initiators")
+            .ni;
+        b.iter(|| {
+            let mut noc = Noc::new(black_box(&spec)).expect("instantiable");
+            noc.submit(cpu, Request::read(0x0, 4).expect("valid"))
+                .expect("mapped");
+            noc.run_until_idle(10_000)
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,54 @@
+//! The full SunMap flow over the bundled application suite: for each
+//! task graph, generate mesh/torus/custom candidates, evaluate them
+//! (synthesis + floorplan + simulation), and report the selected
+//! topology — the paper's "Complete Synthesis Oriented Design Flow for
+//! NoCs / Automatic NoC Generation from Application Graph" conclusion,
+//! exercised end to end.
+
+use criterion::{black_box, Criterion};
+use xpipes_bench::experiments::run_selection;
+use xpipes_bench::Table;
+use xpipes_sunmap::apps;
+use xpipes_sunmap::mapping::map_to_mesh;
+
+fn print_tables() {
+    println!("\n== SunMap selection across the application suite ==");
+    let mut t = Table::new(&[
+        "application",
+        "winner",
+        "area (mm²)",
+        "clock (MHz)",
+        "latency (ns)",
+        "candidates",
+    ]);
+    for app in ["mpeg4", "vopd", "mwd", "pip", "h263enc", "d26"] {
+        match run_selection(app) {
+            Ok(outcome) => {
+                let w = outcome.winner();
+                t.row_owned(vec![
+                    app.to_string(),
+                    w.name.clone(),
+                    format!("{:.3}", w.area_mm2),
+                    format!("{:.0}", w.fmax_mhz),
+                    format!("{:.1}", w.avg_latency_ns),
+                    format!("{}+{}", outcome.reports.len(), outcome.failures.len()),
+                ]);
+            }
+            Err(e) => {
+                t.row_owned(vec![app.to_string(), format!("failed: {e}")]);
+            }
+        }
+    }
+    print!("{t}");
+    println!();
+}
+
+fn main() {
+    print_tables();
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("anneal_vopd_3x4", |b| {
+        let graph = apps::vopd();
+        b.iter(|| map_to_mesh(black_box(&graph), 3, 4, 1, 7).expect("fits"))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,82 @@
+//! E3 + E4 + E9 — "Switch Synthesis Results": area (mm²), power (mW) and
+//! achievable frequency of the paper's switch configurations (4x4, 6x4,
+//! 5x5) across the flit-width sweep.
+
+use criterion::{black_box, Criterion};
+use xpipes::config::SwitchConfig;
+use xpipes_bench::experiments::{switch_synthesis, FLIT_WIDTHS, TARGET_MHZ};
+use xpipes_bench::Table;
+use xpipes_synth::components::switch_netlist;
+use xpipes_synth::report::synthesize;
+
+fn print_tables() {
+    let configs = [(4usize, 4usize), (6, 4), (5, 5)];
+    let rows = switch_synthesis(&configs, &FLIT_WIDTHS).expect("switch synthesis");
+
+    println!("\n== E3: switch synthesis — area (mm²) ==");
+    let mut area = Table::new(&["switch", "w=16", "w=32", "w=64", "w=128"]);
+    for &(i, o) in &configs {
+        let cells: Vec<String> = std::iter::once(format!("{i}x{o}"))
+            .chain(
+                rows.iter()
+                    .filter(|r| r.inputs == i && r.outputs == o)
+                    .map(|r| format!("{:.4}", r.report.area_mm2)),
+            )
+            .collect();
+        area.row_owned(cells);
+    }
+    print!("{area}");
+
+    println!("\n== E4: switch synthesis — power (mW @ 1 GHz) ==");
+    let mut power = Table::new(&["switch", "w=16", "w=32", "w=64", "w=128"]);
+    for &(i, o) in &configs {
+        let cells: Vec<String> = std::iter::once(format!("{i}x{o}"))
+            .chain(
+                rows.iter()
+                    .filter(|r| r.inputs == i && r.outputs == o)
+                    .map(|r| format!("{:.1}", r.report.power_mw)),
+            )
+            .collect();
+        power.row_owned(cells);
+    }
+    print!("{power}");
+
+    println!("\n== E9: achievable frequency (MHz, max effort) ==");
+    let mut fmax = Table::new(&["switch", "w=16", "w=32", "w=64", "w=128"]);
+    for &(i, o) in &configs {
+        let cells: Vec<String> = std::iter::once(format!("{i}x{o}"))
+            .chain(
+                rows.iter()
+                    .filter(|r| r.inputs == i && r.outputs == o)
+                    .map(|r| format!("{:.0}", r.fmax_mhz)),
+            )
+            .collect();
+        fmax.row_owned(cells);
+    }
+    print!("{fmax}");
+
+    let f44 = rows
+        .iter()
+        .find(|r| r.inputs == 4 && r.flit_width == 32)
+        .expect("4x4 row");
+    let f64_ = rows
+        .iter()
+        .find(|r| r.inputs == 6 && r.flit_width == 32)
+        .expect("6x4 row");
+    println!(
+        "\npaper anchors: 4x4 @ 1 GHz (measured fmax {:.0} MHz); 6x4 at 875–980 MHz \
+         relative to the 4x4's 1 GHz (measured ratio {:.2})\n",
+        f44.fmax_mhz,
+        f64_.fmax_mhz / f44.fmax_mhz
+    );
+}
+
+fn main() {
+    print_tables();
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("synthesize_switch_4x4_w32", |b| {
+        let netlist = switch_netlist(&SwitchConfig::new(4, 4, 32));
+        b.iter(|| synthesize(black_box(&netlist), TARGET_MHZ).expect("reachable"))
+    });
+    c.final_summary();
+}

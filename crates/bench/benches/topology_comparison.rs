@@ -1,0 +1,52 @@
+//! E7 — "Shift Efforts at a Higher Abstraction Layer": comparing sample
+//! xpipes topologies for one application through the SunMap flow. The
+//! paper's anchors: one mesh variant at 925 MHz / 0.51 mm² (+10%
+//! performance), another at 850 MHz / 0.42 mm² (−14% area), and a custom
+//! topology with fewer clock cycles of latency but a slower clock
+//! (780 MHz / 0.48 mm²).
+
+use criterion::{black_box, Criterion};
+use xpipes_bench::experiments::{e7_eval_config, topology_comparison};
+use xpipes_bench::Table;
+use xpipes_sunmap::apps;
+use xpipes_sunmap::selection::custom_topology;
+
+fn print_tables() {
+    let rows = topology_comparison(&e7_eval_config()).expect("comparison");
+    println!("\n== E7: sample xpipes topologies (VOPD) ==");
+    let mut t = Table::new(&[
+        "candidate",
+        "fabric (mm²)",
+        "total (mm²)",
+        "clock (MHz)",
+        "latency (cyc)",
+        "latency (ns)",
+        "thruput (pkt/µs)",
+    ]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.name.clone(),
+            format!("{:.3}", r.fabric_area_mm2),
+            format!("{:.3}", r.total_area_mm2),
+            format!("{:.0}", r.fmax_mhz),
+            format!("{:.1}", r.latency_cycles),
+            format!("{:.1}", r.latency_ns),
+            format!("{:.2}", r.throughput_pkt_per_us),
+        ]);
+    }
+    print!("{t}");
+    println!(
+        "\npaper shape: bigger mesh trades area for clock/performance; the custom \
+         topology needs the fewest cycles but runs the slowest clock\n"
+    );
+}
+
+fn main() {
+    print_tables();
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("custom_topology_vopd", |b| {
+        let graph = apps::vopd();
+        b.iter(|| custom_topology(black_box(&graph), 32, 3).expect("constructible"))
+    });
+    c.final_summary();
+}

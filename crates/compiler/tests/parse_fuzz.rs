@@ -1,0 +1,79 @@
+//! Parser robustness: arbitrary input must produce a clean error or a
+//! valid specification — never a panic, and never an invalid spec.
+
+use proptest::prelude::*;
+
+use xpipes_compiler::{parse_spec, print_spec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary text never panics the parser.
+    #[test]
+    fn arbitrary_text_never_panics(input in ".{0,400}") {
+        let _ = parse_spec(&input);
+    }
+
+    /// Arbitrary token soup (closer to the grammar's alphabet) never
+    /// panics and, when accepted, round-trips.
+    #[test]
+    fn token_soup_is_handled(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("noc".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("switch".to_string()),
+                Just("link".to_string()),
+                Just("<->".to_string()),
+                Just("initiator".to_string()),
+                Just("target".to_string()),
+                Just("@".to_string()),
+                Just("base".to_string()),
+                Just("size".to_string()),
+                Just("s0.0".to_string()),
+                Just("s0".to_string()),
+                Just("0x10".to_string()),
+                Just("7".to_string()),
+                Just("\n".to_string()),
+            ],
+            0..40,
+        ),
+    ) {
+        let input = tokens.join(" ");
+        if let Ok(spec) = parse_spec(&input) {
+            let printed = print_spec(&spec);
+            let reparsed = parse_spec(&printed).expect("printer output must parse");
+            prop_assert_eq!(print_spec(&reparsed), printed);
+        }
+    }
+
+    /// Numeric fields survive extreme values without panicking.
+    #[test]
+    fn extreme_numbers_handled(width in any::<u64>(), depth in any::<u64>()) {
+        let text = format!(
+            "noc x {{\n  flit_width {width}\n  queue_depth {depth}\n  switch a\n}}"
+        );
+        if let Ok(spec) = parse_spec(&text) {
+            // Out-of-range values must be caught by validation, not by
+            // a panic downstream.
+            let _ = spec.validate();
+        }
+    }
+}
+
+#[test]
+fn deeply_malformed_inputs_error_cleanly() {
+    for bad in [
+        "noc",
+        "noc {",
+        "noc a { noc b {",
+        "noc a {\n link x.0 <-> y.0\n}",
+        "noc a {\n switch s\n initiator i @ s.99\n}",
+        "noc a {\n switch s\n target t @ s.0 base zz size 1\n}",
+        "}{",
+        "noc a {}\nextra",
+    ] {
+        assert!(parse_spec(bad).is_err(), "should reject: {bad:?}");
+    }
+}

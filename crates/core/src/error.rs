@@ -1,0 +1,117 @@
+//! Error type of the xpipes component library.
+
+use std::error::Error;
+use std::fmt;
+
+use xpipes_ocp::OcpError;
+use xpipes_topology::spec::SpecError;
+use xpipes_topology::{NiId, TopologyError};
+
+/// Errors raised by xpipes component construction and operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XpipesError {
+    /// A route does not fit the header's 7-hop route field.
+    RouteTooLong { hops: usize, max: usize },
+    /// A header field exceeded its bit width.
+    FieldOverflow {
+        field: &'static str,
+        value: u64,
+        bits: u32,
+    },
+    /// Flit width outside the supported 8..=128 range.
+    BadFlitWidth(u32),
+    /// Operation referenced an NI the network does not contain.
+    UnknownNi(NiId),
+    /// Operation addressed an NI of the wrong kind (e.g. submitting a
+    /// request to a target NI).
+    WrongNiKind(NiId),
+    /// A transaction address decoded to no target window.
+    UnmappedAddress(u64),
+    /// Packet reassembly saw flits out of order.
+    ReassemblyError(&'static str),
+    /// Underlying OCP protocol error.
+    Ocp(OcpError),
+    /// Underlying topology error.
+    Topology(TopologyError),
+    /// Underlying specification error.
+    Spec(SpecError),
+}
+
+impl fmt::Display for XpipesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XpipesError::RouteTooLong { hops, max } => {
+                write!(f, "route of {hops} hops exceeds the {max}-hop header field")
+            }
+            XpipesError::FieldOverflow { field, value, bits } => {
+                write!(f, "header field {field} value {value} exceeds {bits} bits")
+            }
+            XpipesError::BadFlitWidth(w) => write!(f, "flit width {w} outside 8..=128"),
+            XpipesError::UnknownNi(ni) => write!(f, "unknown NI {ni}"),
+            XpipesError::WrongNiKind(ni) => write!(f, "NI {ni} has the wrong kind"),
+            XpipesError::UnmappedAddress(a) => write!(f, "address {a:#x} maps to no target"),
+            XpipesError::ReassemblyError(why) => write!(f, "packet reassembly failed: {why}"),
+            XpipesError::Ocp(e) => write!(f, "ocp error: {e}"),
+            XpipesError::Topology(e) => write!(f, "topology error: {e}"),
+            XpipesError::Spec(e) => write!(f, "spec error: {e}"),
+        }
+    }
+}
+
+impl Error for XpipesError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            XpipesError::Ocp(e) => Some(e),
+            XpipesError::Topology(e) => Some(e),
+            XpipesError::Spec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OcpError> for XpipesError {
+    fn from(e: OcpError) -> Self {
+        XpipesError::Ocp(e)
+    }
+}
+
+impl From<TopologyError> for XpipesError {
+    fn from(e: TopologyError) -> Self {
+        XpipesError::Topology(e)
+    }
+}
+
+impl From<SpecError> for XpipesError {
+    fn from(e: SpecError) -> Self {
+        XpipesError::Spec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(XpipesError::RouteTooLong { hops: 9, max: 7 }
+            .to_string()
+            .contains("9 hops"));
+        assert!(XpipesError::UnmappedAddress(0x40)
+            .to_string()
+            .contains("0x40"));
+        assert!(XpipesError::BadFlitWidth(4).to_string().contains('4'));
+    }
+
+    #[test]
+    fn from_ocp_sets_source() {
+        let e: XpipesError = OcpError::BadBurstLength(0).into();
+        assert!(e.source().is_some());
+        assert!(matches!(e, XpipesError::Ocp(_)));
+    }
+
+    #[test]
+    fn from_topology() {
+        let e: XpipesError = TopologyError::EmptyDimension.into();
+        assert!(matches!(e, XpipesError::Topology(_)));
+    }
+}

@@ -1,0 +1,522 @@
+//! ACK/nACK go-back-N flow and error control.
+//!
+//! xpipes Lite switches are "designed for pipelined, unreliable links":
+//! every flit carries a small sequence number, the sender keeps transmitted
+//! flits in a retransmission buffer until acknowledged, and the receiver
+//! ACKs in-order clean flits and nACKs corrupted / unacceptable ones,
+//! causing a go-back-N rewind. The same mechanism provides flow control —
+//! a full input register simply nACKs.
+//!
+//! [`LinkTx`] is the sender half (lives in every switch/NI output port),
+//! [`LinkRx`] the receiver half (every input port).
+
+use std::collections::VecDeque;
+
+use crate::flit::Flit;
+
+/// Sequence numbers are modulo 64: far larger than any retransmission
+/// window (≤ 2·pipeline+2), so ambiguity is impossible.
+pub const SEQ_MOD: u8 = 64;
+
+/// Forward modular distance from `from` to `to`.
+pub fn seq_dist(from: u8, to: u8) -> u8 {
+    to.wrapping_sub(from) % SEQ_MOD
+}
+
+/// Modular increment.
+pub fn seq_next(seq: u8) -> u8 {
+    (seq + 1) % SEQ_MOD
+}
+
+/// A flit in flight on a link: payload + sequence number + the corruption
+/// flag the link's error injector may set (models a failed CRC check).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkFlit {
+    /// The flit payload.
+    pub flit: Flit,
+    /// Link-level sequence number.
+    pub seq: u8,
+    /// Set by the error injector; the receiver treats it as a CRC failure.
+    pub corrupted: bool,
+}
+
+/// An ACK or nACK travelling on the reverse channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckNack {
+    /// Acknowledged (cumulative) or requested (rewind point) sequence.
+    pub seq: u8,
+    /// True = ACK, false = nACK.
+    pub ack: bool,
+}
+
+/// Sender-side ACK/nACK engine with retransmission buffer.
+///
+/// Per cycle, call [`process`](LinkTx::process) with the arrived reverse-
+/// channel message (if any), then [`transmit`](LinkTx::transmit) once to
+/// obtain the flit to drive onto the link.
+///
+/// # Examples
+///
+/// ```
+/// use xpipes::flow_control::{LinkTx, AckNack};
+/// use xpipes::{Flit, FlitKind, FlitMeta};
+/// use xpipes_sim::Cycle;
+///
+/// let mut tx = LinkTx::new(4);
+/// let flit = Flit::new(FlitKind::Single, 7, FlitMeta::new(0, Cycle::ZERO, 0));
+/// assert!(tx.ready_for_new());
+/// let sent = tx.transmit(Some(flit)).expect("window has room");
+/// assert_eq!(sent.seq, 0);
+/// tx.process(Some(AckNack { seq: 0, ack: true }));
+/// assert_eq!(tx.in_flight(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinkTx {
+    window: VecDeque<(u8, Flit)>,
+    capacity: usize,
+    next_seq: u8,
+    resend: Option<usize>,
+    retransmissions: u64,
+    sent: u64,
+}
+
+impl LinkTx {
+    /// Creates a sender with a retransmission buffer of `capacity` flits
+    /// (sized `2·link_pipeline + 2` by the switch config).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero or not smaller than half the
+    /// sequence space.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "retransmission buffer cannot be empty");
+        assert!(
+            capacity < (SEQ_MOD / 2) as usize,
+            "window must be smaller than half the sequence space"
+        );
+        LinkTx {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            next_seq: 0,
+            resend: None,
+            retransmissions: 0,
+            sent: 0,
+        }
+    }
+
+    /// Flits sent but not yet acknowledged.
+    pub fn in_flight(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Total retransmitted flits (statistics).
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Total flit transmissions including retransmissions.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// True when a *new* flit could be accepted this cycle: the window has
+    /// room and no rewind is in progress.
+    pub fn ready_for_new(&self) -> bool {
+        self.resend.is_none() && self.window.len() < self.capacity
+    }
+
+    /// Handles the reverse-channel arrival of this cycle.
+    pub fn process(&mut self, arrival: Option<AckNack>) {
+        let Some(an) = arrival else { return };
+        if an.ack {
+            // Cumulative ACK: everything up to and including `seq` is
+            // delivered.
+            while let Some((front_seq, _)) = self.window.front() {
+                let d = seq_dist(*front_seq, an.seq);
+                if (d as usize) < self.window.len() {
+                    self.window.pop_front();
+                    if let Some(r) = self.resend {
+                        self.resend = if r == 0 { None } else { Some(r - 1) };
+                    }
+                } else {
+                    break;
+                }
+            }
+        } else {
+            // nACK: rewind to the requested sequence if it is still ours.
+            if let Some(idx) = self.window.iter().position(|(s, _)| *s == an.seq) {
+                self.resend = Some(idx);
+            }
+        }
+    }
+
+    /// Emits at most one flit onto the link this cycle. Pass the new flit
+    /// to send when [`ready_for_new`](Self::ready_for_new); during a
+    /// rewind, retransmission takes priority and `new` must be `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new` is provided while the sender is not ready for it.
+    pub fn transmit(&mut self, new: Option<Flit>) -> Option<LinkFlit> {
+        if let Some(idx) = self.resend {
+            assert!(new.is_none(), "cannot inject a new flit during a rewind");
+            let (seq, flit) = self.window[idx].clone();
+            self.resend = if idx + 1 < self.window.len() {
+                Some(idx + 1)
+            } else {
+                None
+            };
+            self.retransmissions += 1;
+            self.sent += 1;
+            return Some(LinkFlit {
+                flit,
+                seq,
+                corrupted: false,
+            });
+        }
+        let flit = new?;
+        assert!(self.window.len() < self.capacity, "window overflow");
+        let seq = self.next_seq;
+        self.next_seq = seq_next(seq);
+        self.window.push_back((seq, flit.clone()));
+        self.sent += 1;
+        Some(LinkFlit {
+            flit,
+            seq,
+            corrupted: false,
+        })
+    }
+}
+
+/// Receiver-side ACK/nACK guard.
+///
+/// Per cycle, call [`receive`](LinkRx::receive) with the forward-channel
+/// arrival and whether the downstream register can accept a flit; it
+/// returns the delivered flit (if accepted) and the reverse-channel
+/// message to send back.
+#[derive(Debug, Clone, Default)]
+pub struct LinkRx {
+    expected: u8,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl LinkRx {
+    /// Creates a receiver expecting sequence 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Next expected sequence number.
+    pub fn expected(&self) -> u8 {
+        self.expected
+    }
+
+    /// Flits accepted and delivered downstream.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Flits rejected (corrupt, out of order, or back-pressured).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Processes a forward-channel arrival.
+    ///
+    /// Returns `(delivered, reply)`: the flit to hand to the input
+    /// register (only when clean, in order and `can_accept`), and the
+    /// ACK/nACK to send on the reverse channel.
+    pub fn receive(&mut self, arrival: LinkFlit, can_accept: bool) -> (Option<Flit>, AckNack) {
+        if arrival.corrupted {
+            self.rejected += 1;
+            return (
+                None,
+                AckNack {
+                    seq: self.expected,
+                    ack: false,
+                },
+            );
+        }
+        if arrival.seq == self.expected {
+            if can_accept {
+                self.accepted += 1;
+                let acked = self.expected;
+                self.expected = seq_next(self.expected);
+                (
+                    Some(arrival.flit),
+                    AckNack {
+                        seq: acked,
+                        ack: true,
+                    },
+                )
+            } else {
+                // Flow control: full register nACKs, forcing a resend.
+                self.rejected += 1;
+                (
+                    None,
+                    AckNack {
+                        seq: self.expected,
+                        ack: false,
+                    },
+                )
+            }
+        } else if seq_dist(arrival.seq, self.expected) <= SEQ_MOD / 2 {
+            // Duplicate of an already-delivered flit (stale retransmission):
+            // re-ACK it so the sender prunes its window, deliver nothing.
+            (
+                None,
+                AckNack {
+                    seq: arrival.seq,
+                    ack: true,
+                },
+            )
+        } else {
+            // A future flit implies earlier ones were lost: rewind.
+            self.rejected += 1;
+            (
+                None,
+                AckNack {
+                    seq: self.expected,
+                    ack: false,
+                },
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, FlitMeta};
+    use xpipes_sim::Cycle;
+
+    fn flit(n: u64) -> Flit {
+        Flit::new(
+            FlitKind::Single,
+            n as u128,
+            FlitMeta::new(n, Cycle::ZERO, 0),
+        )
+    }
+
+    #[test]
+    fn seq_arithmetic() {
+        assert_eq!(seq_next(0), 1);
+        assert_eq!(seq_next(63), 0);
+        assert_eq!(seq_dist(5, 9), 4);
+        assert_eq!(seq_dist(60, 2), 6);
+        assert_eq!(seq_dist(2, 2), 0);
+        assert_eq!(seq_dist(9, 5), 60);
+    }
+
+    #[test]
+    fn tx_assigns_sequences() {
+        let mut tx = LinkTx::new(4);
+        for i in 0..3 {
+            let sent = tx.transmit(Some(flit(i))).unwrap();
+            assert_eq!(sent.seq, i as u8);
+        }
+        assert_eq!(tx.in_flight(), 3);
+        assert_eq!(tx.sent(), 3);
+    }
+
+    #[test]
+    fn tx_window_fills() {
+        let mut tx = LinkTx::new(2);
+        tx.transmit(Some(flit(0)));
+        tx.transmit(Some(flit(1)));
+        assert!(!tx.ready_for_new());
+        tx.process(Some(AckNack { seq: 0, ack: true }));
+        assert!(tx.ready_for_new());
+        assert_eq!(tx.in_flight(), 1);
+    }
+
+    #[test]
+    fn cumulative_ack_prunes_multiple() {
+        let mut tx = LinkTx::new(4);
+        for i in 0..4 {
+            tx.transmit(Some(flit(i)));
+        }
+        tx.process(Some(AckNack { seq: 2, ack: true }));
+        assert_eq!(tx.in_flight(), 1); // only seq 3 left
+    }
+
+    #[test]
+    fn stale_ack_ignored() {
+        let mut tx = LinkTx::new(4);
+        tx.transmit(Some(flit(0)));
+        tx.process(Some(AckNack { seq: 0, ack: true }));
+        tx.transmit(Some(flit(1)));
+        // Duplicate ACK for 0 must not prune seq 1.
+        tx.process(Some(AckNack { seq: 0, ack: true }));
+        assert_eq!(tx.in_flight(), 1);
+    }
+
+    #[test]
+    fn nack_triggers_rewind() {
+        let mut tx = LinkTx::new(4);
+        for i in 0..3 {
+            tx.transmit(Some(flit(i)));
+        }
+        tx.process(Some(AckNack { seq: 1, ack: false }));
+        assert!(!tx.ready_for_new());
+        let r1 = tx.transmit(None).unwrap();
+        assert_eq!(r1.seq, 1);
+        let r2 = tx.transmit(None).unwrap();
+        assert_eq!(r2.seq, 2);
+        assert!(tx.ready_for_new());
+        assert_eq!(tx.retransmissions(), 2);
+    }
+
+    #[test]
+    fn nack_for_unknown_seq_ignored() {
+        let mut tx = LinkTx::new(4);
+        tx.transmit(Some(flit(0)));
+        tx.process(Some(AckNack { seq: 9, ack: false }));
+        assert!(tx.ready_for_new());
+    }
+
+    #[test]
+    fn ack_during_rewind_adjusts_pointer() {
+        let mut tx = LinkTx::new(4);
+        for i in 0..4 {
+            tx.transmit(Some(flit(i)));
+        }
+        tx.process(Some(AckNack { seq: 2, ack: false })); // rewind to idx 2
+        tx.process(Some(AckNack { seq: 1, ack: true })); // prune 0 and 1
+        let r = tx.transmit(None).unwrap();
+        assert_eq!(r.seq, 2); // pointer followed the pruned window
+    }
+
+    #[test]
+    #[should_panic(expected = "rewind")]
+    fn new_flit_during_rewind_panics() {
+        let mut tx = LinkTx::new(4);
+        tx.transmit(Some(flit(0)));
+        tx.transmit(Some(flit(1)));
+        tx.process(Some(AckNack { seq: 0, ack: false }));
+        tx.transmit(Some(flit(2)));
+    }
+
+    #[test]
+    fn rx_accepts_in_order() {
+        let mut rx = LinkRx::new();
+        let (d, a) = rx.receive(
+            LinkFlit {
+                flit: flit(0),
+                seq: 0,
+                corrupted: false,
+            },
+            true,
+        );
+        assert!(d.is_some());
+        assert_eq!(a, AckNack { seq: 0, ack: true });
+        assert_eq!(rx.expected(), 1);
+        assert_eq!(rx.accepted(), 1);
+    }
+
+    #[test]
+    fn rx_nacks_corrupt() {
+        let mut rx = LinkRx::new();
+        let (d, a) = rx.receive(
+            LinkFlit {
+                flit: flit(0),
+                seq: 0,
+                corrupted: true,
+            },
+            true,
+        );
+        assert!(d.is_none());
+        assert_eq!(a, AckNack { seq: 0, ack: false });
+        assert_eq!(rx.rejected(), 1);
+        assert_eq!(rx.expected(), 0); // unchanged
+    }
+
+    #[test]
+    fn rx_nacks_when_backpressured() {
+        let mut rx = LinkRx::new();
+        let (d, a) = rx.receive(
+            LinkFlit {
+                flit: flit(0),
+                seq: 0,
+                corrupted: false,
+            },
+            false,
+        );
+        assert!(d.is_none());
+        assert!(!a.ack);
+    }
+
+    #[test]
+    fn rx_reacks_duplicates() {
+        let mut rx = LinkRx::new();
+        rx.receive(
+            LinkFlit {
+                flit: flit(0),
+                seq: 0,
+                corrupted: false,
+            },
+            true,
+        );
+        // Stale retransmission of seq 0 arrives again.
+        let (d, a) = rx.receive(
+            LinkFlit {
+                flit: flit(0),
+                seq: 0,
+                corrupted: false,
+            },
+            true,
+        );
+        assert!(d.is_none());
+        assert_eq!(a, AckNack { seq: 0, ack: true });
+        assert_eq!(rx.expected(), 1);
+    }
+
+    #[test]
+    fn rx_nacks_future_flit() {
+        let mut rx = LinkRx::new();
+        let (d, a) = rx.receive(
+            LinkFlit {
+                flit: flit(5),
+                seq: 5,
+                corrupted: false,
+            },
+            true,
+        );
+        assert!(d.is_none());
+        assert_eq!(a, AckNack { seq: 0, ack: false });
+    }
+
+    #[test]
+    #[should_panic(expected = "half the sequence space")]
+    fn oversized_window_rejected() {
+        LinkTx::new(32);
+    }
+
+    /// Lossless direct connection: everything sent arrives in order.
+    #[test]
+    fn end_to_end_lossless() {
+        let mut tx = LinkTx::new(4);
+        let mut rx = LinkRx::new();
+        let mut delivered = Vec::new();
+        let mut next = 0u64;
+        for _ in 0..100 {
+            let new = if tx.ready_for_new() && next < 20 {
+                let f = flit(next);
+                next += 1;
+                Some(f)
+            } else {
+                None
+            };
+            if let Some(lf) = tx.transmit(new) {
+                let (d, reply) = rx.receive(lf, true);
+                if let Some(f) = d {
+                    delivered.push(f.meta.packet_id);
+                }
+                tx.process(Some(reply));
+            }
+        }
+        assert_eq!(delivered, (0..20).collect::<Vec<_>>());
+        assert_eq!(tx.retransmissions(), 0);
+    }
+}

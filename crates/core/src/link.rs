@@ -1,0 +1,266 @@
+//! Pipelined, possibly unreliable links.
+//!
+//! A link is two shift registers: a forward pipe carrying
+//! [`LinkFlit`]s and a reverse pipe carrying [`AckNack`]s, each `stages`
+//! cycles deep.
+//! An error injector corrupts forward flits with the configured
+//! probability, exercising the ACK/nACK protocol end to end.
+
+use std::collections::VecDeque;
+
+use xpipes_sim::SimRng;
+
+use crate::config::LinkConfig;
+use crate::flow_control::{AckNack, LinkFlit};
+
+/// A pipelined link instance.
+///
+/// Call [`shift`](Link::shift) exactly once per cycle with this cycle's
+/// channel inputs; it returns what emerges at the far ends.
+///
+/// # Examples
+///
+/// ```
+/// use xpipes::link::Link;
+/// use xpipes::config::LinkConfig;
+/// use xpipes::flow_control::LinkFlit;
+/// use xpipes::{Flit, FlitKind, FlitMeta};
+/// use xpipes_sim::{Cycle, SimRng};
+///
+/// let mut link = Link::new(LinkConfig::new(2), SimRng::seed(0));
+/// let lf = LinkFlit {
+///     flit: Flit::new(FlitKind::Single, 1, FlitMeta::new(0, Cycle::ZERO, 0)),
+///     seq: 0,
+///     corrupted: false,
+/// };
+/// // Two pipeline stages: the flit pops out on the second shift.
+/// let (out1, _) = link.shift(Some(lf), None);
+/// assert!(out1.is_none());
+/// let (out2, _) = link.shift(None, None);
+/// assert!(out2.is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Link {
+    fwd: VecDeque<Option<LinkFlit>>,
+    rev: VecDeque<Option<AckNack>>,
+    error_rate: f64,
+    rng: SimRng,
+    traversals: u64,
+    corrupted: u64,
+}
+
+impl Link {
+    /// Creates a link from its configuration and a deterministic RNG for
+    /// error injection.
+    pub fn new(config: LinkConfig, rng: SimRng) -> Self {
+        // An N-stage pipe delays by N shifts: the entering item passes
+        // through N-1 interior slots plus the push/pop of the shift itself.
+        let interior = (config.stages.max(1) - 1) as usize;
+        Link {
+            fwd: VecDeque::from(vec![None; interior]),
+            rev: VecDeque::from(vec![None; interior]),
+            error_rate: config.error_rate,
+            rng,
+            traversals: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// Pipeline depth in cycles.
+    pub fn stages(&self) -> u32 {
+        self.fwd.len() as u32 + 1
+    }
+
+    /// Forward flits that completed a traversal.
+    pub fn traversals(&self) -> u64 {
+        self.traversals
+    }
+
+    /// Flits the error injector corrupted.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted
+    }
+
+    /// Advances both pipes one cycle: pushes the inputs in, pops the
+    /// outputs out. The error injector may flag the entering forward flit
+    /// as corrupted.
+    pub fn shift(
+        &mut self,
+        fwd_in: Option<LinkFlit>,
+        rev_in: Option<AckNack>,
+    ) -> (Option<LinkFlit>, Option<AckNack>) {
+        let fwd_in = fwd_in.map(|mut lf| {
+            if self.error_rate > 0.0 && self.rng.chance(self.error_rate) {
+                lf.corrupted = true;
+                self.corrupted += 1;
+            }
+            lf
+        });
+        self.fwd.push_back(fwd_in);
+        self.rev.push_back(rev_in);
+        let fwd_out = self.fwd.pop_front().expect("pipe never empty");
+        let rev_out = self.rev.pop_front().expect("pipe never empty");
+        if fwd_out.is_some() {
+            self.traversals += 1;
+        }
+        (fwd_out, rev_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{Flit, FlitKind, FlitMeta};
+    use crate::flow_control::{LinkRx, LinkTx};
+    use xpipes_sim::Cycle;
+
+    fn lf(n: u64) -> LinkFlit {
+        LinkFlit {
+            flit: Flit::new(
+                FlitKind::Single,
+                n as u128,
+                FlitMeta::new(n, Cycle::ZERO, 0),
+            ),
+            seq: (n % 64) as u8,
+            corrupted: false,
+        }
+    }
+
+    #[test]
+    fn latency_equals_stages() {
+        for stages in [1u32, 2, 4] {
+            let mut link = Link::new(LinkConfig::new(stages), SimRng::seed(1));
+            let (out, _) = link.shift(Some(lf(7)), None);
+            let mut arrived_after = if out.is_some() { 1 } else { 0 };
+            let mut t = 1;
+            while arrived_after == 0 {
+                t += 1;
+                let (o, _) = link.shift(None, None);
+                if o.is_some() {
+                    arrived_after = t;
+                }
+            }
+            assert_eq!(arrived_after, stages, "stages={stages}");
+        }
+    }
+
+    #[test]
+    fn reverse_channel_same_depth() {
+        let mut link = Link::new(LinkConfig::new(3), SimRng::seed(1));
+        link.shift(None, Some(AckNack { seq: 5, ack: true }));
+        link.shift(None, None);
+        let (_, rev) = link.shift(None, None);
+        assert_eq!(rev, Some(AckNack { seq: 5, ack: true }));
+    }
+
+    #[test]
+    fn pipelining_sustains_full_rate() {
+        let mut link = Link::new(LinkConfig::new(2), SimRng::seed(1));
+        let mut arrived = 0;
+        for i in 0..10 {
+            let (out, _) = link.shift(Some(lf(i)), None);
+            if out.is_some() {
+                arrived += 1;
+            }
+        }
+        // After the 2-cycle fill, every cycle delivers: 9 of 10.
+        assert_eq!(arrived, 9);
+        assert_eq!(link.traversals(), 9);
+    }
+
+    #[test]
+    fn error_injection_rate() {
+        let mut link = Link::new(LinkConfig::new(1).with_error_rate(0.25), SimRng::seed(7));
+        let mut corrupt = 0;
+        for i in 0..4000 {
+            let (out, _) = link.shift(Some(lf(i)), None);
+            if out.map(|f| f.corrupted).unwrap_or(false) {
+                corrupt += 1;
+            }
+        }
+        assert!((800..1200).contains(&corrupt), "corrupt={corrupt}");
+        assert_eq!(link.corrupted(), corrupt);
+    }
+
+    #[test]
+    fn zero_error_rate_never_corrupts() {
+        let mut link = Link::new(LinkConfig::new(1), SimRng::seed(3));
+        for i in 0..100 {
+            let (out, _) = link.shift(Some(lf(i)), None);
+            if let Some(f) = out {
+                assert!(!f.corrupted);
+            }
+        }
+    }
+
+    /// Full protocol harness: LinkTx → noisy pipelined link → LinkRx, with
+    /// the reverse channel closing the loop. Every flit must arrive
+    /// exactly once, in order, despite corruption and receiver stalls.
+    fn run_protocol(
+        error_rate: f64,
+        stall_rate: f64,
+        stages: u32,
+        count: u64,
+        seed: u64,
+        max_cycles: u64,
+    ) -> Vec<u64> {
+        let mut tx = LinkTx::new((2 * stages + 2) as usize);
+        let mut rx = LinkRx::new();
+        let mut link = Link::new(
+            LinkConfig::new(stages).with_error_rate(error_rate),
+            SimRng::seed(seed),
+        );
+        let mut stall_rng = SimRng::seed(seed ^ 0xABCD);
+        let mut delivered = Vec::new();
+        let mut next = 0u64;
+        let mut rev_latch: Option<AckNack> = None;
+        for _ in 0..max_cycles {
+            let new = if tx.ready_for_new() && next < count {
+                let f = lf(next).flit;
+                next += 1;
+                Some(f)
+            } else {
+                None
+            };
+            let fwd_in = tx.transmit(new);
+            let (fwd_out, rev_out) = link.shift(fwd_in, rev_latch.take());
+            tx.process(rev_out);
+            if let Some(arrival) = fwd_out {
+                let can_accept = !stall_rng.chance(stall_rate);
+                let (d, reply) = rx.receive(arrival, can_accept);
+                rev_latch = Some(reply);
+                if let Some(f) = d {
+                    delivered.push(f.meta.packet_id);
+                }
+            }
+            if delivered.len() as u64 == count {
+                break;
+            }
+        }
+        delivered
+    }
+
+    #[test]
+    fn protocol_delivers_in_order_lossless() {
+        let got = run_protocol(0.0, 0.0, 2, 50, 11, 10_000);
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn protocol_survives_errors() {
+        let got = run_protocol(0.2, 0.0, 2, 50, 13, 100_000);
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn protocol_survives_stalls() {
+        let got = run_protocol(0.0, 0.4, 3, 50, 17, 100_000);
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn protocol_survives_errors_and_stalls() {
+        let got = run_protocol(0.15, 0.3, 2, 40, 19, 200_000);
+        assert_eq!(got, (0..40).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,661 @@
+//! The xpipes Lite switch: 2-stage pipelined, output-queued, wormhole,
+//! source-routed, with ACK/nACK flow & error control on every port.
+//!
+//! Pipeline structure (the paper's "2-stage pipelined" redesign, down from
+//! 7 stages in the first-generation xpipes switch):
+//!
+//! * **Stage 1** — input register + route decode: the head flit's source
+//!   route is consumed (low 4 bits select the output port, the rest shifts
+//!   down) and the input requests that output from the allocator.
+//! * **Stage 2** — arbitration + crossbar traversal into the output queue,
+//!   whose head feeds the link through the ACK/nACK sender.
+//!
+//! Wormhole switching: a granted head flit locks its input→output pairing
+//! until the tail flit passes, so packets never interleave on a link.
+//!
+//! The per-cycle protocol is split into three phases the network assembly
+//! drives in order: [`transmit`](Switch::transmit) (stage 2 output side),
+//! [`crossbar`](Switch::crossbar) (stage 2 allocation), and
+//! [`receive`](Switch::receive) (stage 1 input side). Phase ordering makes
+//! the model cycle-faithful: a flit needs one cycle in the input register
+//! and one in the output queue — two pipeline stages.
+
+use std::collections::VecDeque;
+
+use crate::arbiter::Arbiter;
+use crate::config::SwitchConfig;
+use crate::flit::Flit;
+use crate::flow_control::{AckNack, LinkFlit, LinkRx, LinkTx};
+
+#[derive(Debug, Clone)]
+struct InputPort {
+    rx: LinkRx,
+    /// Extra pipeline shift register (empty for xpipes Lite; 5 slots model
+    /// the legacy 7-stage first-generation switch for comparison benches).
+    /// Flits enter at the back and advance one slot per cycle.
+    delay: VecDeque<Option<Flit>>,
+    /// Stage-1 input register.
+    reg: Option<Flit>,
+    /// Output port the current packet is locked to (wormhole state).
+    route_port: Option<usize>,
+}
+
+impl InputPort {
+    /// True when a newly arriving flit can be stored this cycle.
+    fn can_accept(&self) -> bool {
+        if self.delay.is_empty() {
+            self.reg.is_none()
+        } else {
+            matches!(self.delay.back(), Some(None))
+        }
+    }
+
+    /// Stores a delivered flit (entry stage of the input pipeline).
+    fn store(&mut self, flit: Flit) {
+        if self.delay.is_empty() {
+            debug_assert!(self.reg.is_none());
+            self.reg = Some(flit);
+        } else {
+            let back = self.delay.back_mut().expect("nonempty delay line");
+            debug_assert!(back.is_none());
+            *back = Some(flit);
+        }
+    }
+
+    /// Advances the extra pipeline one cycle (stalling when the register
+    /// is occupied and a flit is waiting at the front).
+    fn advance_delay(&mut self) {
+        if self.delay.is_empty() {
+            return;
+        }
+        if self.reg.is_none() {
+            if let Some(front) = self.delay.pop_front() {
+                self.reg = front;
+                self.delay.push_back(None);
+            }
+        } else if matches!(self.delay.front(), Some(None)) {
+            self.delay.pop_front();
+            self.delay.push_back(None);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct OutputPort {
+    queue: VecDeque<Flit>,
+    tx: LinkTx,
+}
+
+/// Cumulative switch statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Flits moved through the crossbar.
+    pub flits_routed: u64,
+    /// Packets (head flits) routed.
+    pub packets_routed: u64,
+    /// Cycles in which an input requested an output but lost arbitration
+    /// or found the queue full.
+    pub contention_stalls: u64,
+    /// Flits retransmitted by this switch's output ports.
+    pub retransmissions: u64,
+    /// Highest output-queue occupancy observed (flits), for buffer-sizing
+    /// studies.
+    pub max_queue_depth: usize,
+}
+
+/// One switch instance.
+///
+/// # Examples
+///
+/// Standalone routing of a single-flit packet from input 0 to output 1:
+///
+/// ```
+/// use xpipes::switch::Switch;
+/// use xpipes::config::SwitchConfig;
+/// use xpipes::header::Header;
+/// use xpipes::{Flit, FlitKind, FlitMeta};
+/// use xpipes::flow_control::LinkFlit;
+/// use xpipes_ocp::{MCmd, ThreadId, Sideband};
+/// use xpipes_topology::route::SourceRoute;
+/// use xpipes_topology::PortId;
+/// use xpipes_sim::Cycle;
+///
+/// # fn main() -> Result<(), xpipes::XpipesError> {
+/// let mut sw = Switch::new(SwitchConfig::new(2, 2, 32));
+/// let route = SourceRoute::new(vec![PortId(1)]).expect("valid");
+/// let header = Header::request(&route, 0, MCmd::Read, 1, ThreadId(0), 0, Sideband::NONE)?;
+/// let flit = Flit::head(FlitKind::Single, 0, header, FlitMeta::new(0, Cycle::ZERO, 0));
+///
+/// sw.receive(0, Some(LinkFlit { flit, seq: 0, corrupted: false }));
+/// sw.crossbar();                       // stage 2: into output queue 1
+/// let out = sw.transmit(1, None);      // stage 2: onto the link
+/// assert!(out.is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Switch {
+    config: SwitchConfig,
+    inputs: Vec<InputPort>,
+    outputs: Vec<OutputPort>,
+    arbiters: Vec<Arbiter>,
+    /// Per output: input holding the wormhole lock.
+    locks: Vec<Option<usize>>,
+    stats: SwitchStats,
+}
+
+impl Switch {
+    /// Instantiates a switch from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration has zero inputs or outputs.
+    pub fn new(config: SwitchConfig) -> Self {
+        Self::with_extra_stages(config, 0)
+    }
+
+    /// Instantiates a switch with `extra` additional input pipeline stages
+    /// (models the first-generation 7-stage switch when `extra = 5`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration has zero inputs or outputs.
+    pub fn with_extra_stages(config: SwitchConfig, extra: usize) -> Self {
+        assert!(
+            config.inputs > 0 && config.outputs > 0,
+            "switch needs ports"
+        );
+        let inputs = (0..config.inputs)
+            .map(|_| InputPort {
+                rx: LinkRx::new(),
+                delay: VecDeque::from(vec![None; extra]),
+                reg: None,
+                route_port: None,
+            })
+            .collect();
+        let outputs = (0..config.outputs)
+            .map(|_| OutputPort {
+                queue: VecDeque::with_capacity(config.output_queue_depth),
+                tx: LinkTx::new(config.retransmit_depth()),
+            })
+            .collect();
+        let arbiters = (0..config.outputs)
+            .map(|_| Arbiter::new(config.arbitration, config.inputs))
+            .collect();
+        Switch {
+            locks: vec![None; config.outputs],
+            config,
+            inputs,
+            outputs,
+            arbiters,
+            stats: SwitchStats::default(),
+        }
+    }
+
+    /// The switch configuration.
+    pub fn config(&self) -> &SwitchConfig {
+        &self.config
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> SwitchStats {
+        let mut s = self.stats;
+        s.retransmissions = self.outputs.iter().map(|o| o.tx.retransmissions()).sum();
+        s
+    }
+
+    /// True when no flit is buffered anywhere in the switch.
+    pub fn is_idle(&self) -> bool {
+        self.inputs
+            .iter()
+            .all(|i| i.reg.is_none() && i.delay.iter().all(Option::is_none))
+            && self
+                .outputs
+                .iter()
+                .all(|o| o.queue.is_empty() && o.tx.in_flight() == 0)
+    }
+
+    /// Number of flits in the output queue of `port`.
+    pub fn queue_len(&self, port: usize) -> usize {
+        self.outputs[port].queue.len()
+    }
+
+    /// Stage-2 output side for one port: processes the reverse-channel
+    /// arrival and returns the flit to drive onto the link this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range port.
+    pub fn transmit(&mut self, port: usize, rev: Option<AckNack>) -> Option<LinkFlit> {
+        let out = &mut self.outputs[port];
+        out.tx.process(rev);
+        let new = if out.tx.ready_for_new() {
+            out.queue.pop_front()
+        } else {
+            None
+        };
+        out.tx.transmit(new)
+    }
+
+    /// Stage-2 allocation: arbitrates inputs per output and moves granted
+    /// flits through the crossbar into the output queues. Call once per
+    /// cycle, after [`transmit`](Self::transmit) for all ports.
+    pub fn crossbar(&mut self) {
+        // Resolve the requested output of every input holding a flit.
+        let mut requested: Vec<Option<usize>> = vec![None; self.config.inputs];
+        for (i, input) in self.inputs.iter().enumerate() {
+            let Some(flit) = &input.reg else { continue };
+            let port = if flit.kind.is_head() {
+                flit.header.as_ref().map(|h| (h.route & 0xF) as usize)
+            } else {
+                input.route_port
+            };
+            requested[i] = port;
+        }
+
+        for o in 0..self.config.outputs {
+            let space = self.outputs[o].queue.len() < self.config.output_queue_depth;
+            let mut requests = vec![false; self.config.inputs];
+            let mut any = false;
+            for i in 0..self.config.inputs {
+                if requested[i] == Some(o) {
+                    // Wormhole: locked outputs only accept the locking input.
+                    let lock_ok = match self.locks[o] {
+                        None => self.inputs[i].reg.as_ref().map(|f| f.kind.is_head()) == Some(true),
+                        Some(owner) => owner == i,
+                    };
+                    if lock_ok {
+                        requests[i] = true;
+                    }
+                    any = true;
+                }
+            }
+            if !any {
+                continue;
+            }
+            if !space {
+                self.stats.contention_stalls += 1;
+                continue;
+            }
+            let Some(winner) = self.arbiters[o].grant(&requests) else {
+                self.stats.contention_stalls += 1;
+                continue;
+            };
+            if requests.iter().filter(|&&r| r).count() > 1 {
+                self.stats.contention_stalls += 1;
+            }
+            // Move the winning flit through the crossbar.
+            let input = &mut self.inputs[winner];
+            let mut flit = input.reg.take().expect("winner holds a flit");
+            if flit.kind.is_head() {
+                // Consume one hop of the source route.
+                if let Some(h) = flit.header.take() {
+                    let (_, next) = h.consume_route();
+                    flit.header = Some(next);
+                }
+                self.locks[o] = Some(winner);
+                input.route_port = Some(o);
+                self.stats.packets_routed += 1;
+            }
+            if flit.kind.is_tail() {
+                self.locks[o] = None;
+                input.route_port = None;
+            }
+            self.outputs[o].queue.push_back(flit);
+            self.stats.max_queue_depth =
+                self.stats.max_queue_depth.max(self.outputs[o].queue.len());
+            self.stats.flits_routed += 1;
+        }
+
+        // Advance the extra input pipeline (legacy switch model only).
+        for input in &mut self.inputs {
+            input.advance_delay();
+        }
+    }
+
+    /// Stage-1 input side for one port: feeds the forward-channel arrival
+    /// through the ACK/nACK guard into the input register. Returns the
+    /// reverse-channel reply to send (next cycle) on the link.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range port.
+    pub fn receive(&mut self, port: usize, fwd: Option<LinkFlit>) -> Option<AckNack> {
+        let arrival = fwd?;
+        let input = &mut self.inputs[port];
+        let can_accept = input.can_accept();
+        let (delivered, reply) = input.rx.receive(arrival, can_accept);
+        if let Some(flit) = delivered {
+            input.store(flit);
+        }
+        Some(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, FlitMeta};
+    use crate::header::Header;
+    use xpipes_ocp::{MCmd, Sideband, ThreadId};
+    use xpipes_sim::Cycle;
+    use xpipes_topology::route::SourceRoute;
+    use xpipes_topology::spec::Arbitration;
+    use xpipes_topology::PortId;
+
+    fn header_to(ports: &[u8], burst: u8) -> Header {
+        let route = SourceRoute::new(ports.iter().map(|&p| PortId(p)).collect()).unwrap();
+        Header::request(
+            &route,
+            0,
+            MCmd::Write,
+            burst,
+            ThreadId(0),
+            0,
+            Sideband::NONE,
+        )
+        .unwrap()
+    }
+
+    fn packet_flits(id: u64, ports: &[u8], body: usize) -> Vec<Flit> {
+        let meta = FlitMeta::new(id, Cycle::ZERO, 0);
+        let header = header_to(ports, 1);
+        if body == 0 {
+            return vec![Flit::head(FlitKind::Single, id as u128, header, meta)];
+        }
+        let mut flits = vec![Flit::head(FlitKind::Header, id as u128, header, meta)];
+        for i in 0..body {
+            let kind = if i + 1 == body {
+                FlitKind::Tail
+            } else {
+                FlitKind::Body
+            };
+            flits.push(Flit::new(kind, i as u128, meta));
+        }
+        flits
+    }
+
+    /// Drives a single switch directly (no links), injecting flit lists
+    /// into inputs and collecting what each output transmits.
+    fn run_switch(
+        sw: &mut Switch,
+        mut feeds: Vec<VecDeque<Flit>>,
+        cycles: usize,
+    ) -> Vec<Vec<Flit>> {
+        let n_out = sw.config.outputs;
+        let mut seqs = vec![0u8; feeds.len()];
+        let mut collected = vec![Vec::new(); n_out];
+        for _ in 0..cycles {
+            #[allow(clippy::needless_range_loop)]
+            for o in 0..n_out {
+                if let Some(lf) = sw.transmit(o, None) {
+                    collected[o].push(lf.flit.clone());
+                    // Immediately ACK so the window never fills.
+                    sw.outputs[o].tx.process(Some(AckNack {
+                        seq: lf.seq,
+                        ack: true,
+                    }));
+                }
+            }
+            sw.crossbar();
+            for (i, feed) in feeds.iter_mut().enumerate() {
+                if let Some(front) = feed.front() {
+                    let lf = LinkFlit {
+                        flit: front.clone(),
+                        seq: seqs[i],
+                        corrupted: false,
+                    };
+                    if let Some(reply) = sw.receive(i, Some(lf)) {
+                        if reply.ack {
+                            feed.pop_front();
+                            seqs[i] = (seqs[i] + 1) % 64;
+                        }
+                    }
+                }
+            }
+        }
+        collected
+    }
+
+    #[test]
+    fn routes_single_flit_to_requested_output() {
+        let mut sw = Switch::new(SwitchConfig::new(2, 2, 32));
+        let feeds = vec![packet_flits(1, &[1], 0).into(), VecDeque::new()];
+        let out = run_switch(&mut sw, feeds, 10);
+        assert_eq!(out[0].len(), 0);
+        assert_eq!(out[1].len(), 1);
+        assert_eq!(out[1][0].meta.packet_id, 1);
+        assert_eq!(sw.stats().packets_routed, 1);
+    }
+
+    #[test]
+    fn consumes_one_route_hop() {
+        let mut sw = Switch::new(SwitchConfig::new(2, 2, 32));
+        let feeds = vec![packet_flits(1, &[1, 3], 0).into(), VecDeque::new()];
+        let out = run_switch(&mut sw, feeds, 10);
+        let h = out[1][0].header.as_ref().expect("head keeps header");
+        assert_eq!(h.route & 0xF, 3, "next hop should now be first");
+        assert_eq!(h.hop_len, 1);
+    }
+
+    #[test]
+    fn two_stage_latency() {
+        // Inject at cycle 0; the flit must appear at the output on cycle 2
+        // (one cycle in the input register, one in the output queue).
+        let mut sw = Switch::new(SwitchConfig::new(1, 1, 32));
+        let flit = packet_flits(9, &[0], 0).remove(0);
+        let mut appeared_at = None;
+        for cycle in 0..6 {
+            if let Some(lf) = sw.transmit(0, None) {
+                assert_eq!(lf.flit.meta.packet_id, 9);
+                appeared_at = Some(cycle);
+                break;
+            }
+            sw.crossbar();
+            if cycle == 0 {
+                sw.receive(
+                    0,
+                    Some(LinkFlit {
+                        flit: flit.clone(),
+                        seq: 0,
+                        corrupted: false,
+                    }),
+                );
+            }
+        }
+        assert_eq!(appeared_at, Some(2), "xpipes Lite switch is 2-stage");
+    }
+
+    #[test]
+    fn legacy_switch_has_longer_latency() {
+        let mut sw = Switch::with_extra_stages(SwitchConfig::new(1, 1, 32), 5);
+        let flit = packet_flits(9, &[0], 0).remove(0);
+        let mut appeared_at = None;
+        for cycle in 0..20 {
+            if let Some(lf) = sw.transmit(0, None) {
+                assert_eq!(lf.flit.meta.packet_id, 9);
+                appeared_at = Some(cycle);
+                break;
+            }
+            sw.crossbar();
+            if cycle == 0 {
+                sw.receive(
+                    0,
+                    Some(LinkFlit {
+                        flit: flit.clone(),
+                        seq: 0,
+                        corrupted: false,
+                    }),
+                );
+            }
+        }
+        assert_eq!(appeared_at, Some(7), "legacy switch models 7 stages");
+    }
+
+    #[test]
+    fn wormhole_does_not_interleave_packets() {
+        // Two 4-flit packets from different inputs to the same output:
+        // their flits must come out contiguously per packet.
+        let mut sw = Switch::new(SwitchConfig::new(2, 2, 32));
+        let feeds = vec![
+            packet_flits(1, &[0], 3).into(),
+            packet_flits(2, &[0], 3).into(),
+        ];
+        let out = run_switch(&mut sw, feeds, 40);
+        assert_eq!(out[0].len(), 8);
+        let ids: Vec<u64> = out[0].iter().map(|f| f.meta.packet_id).collect();
+        // Find the boundary: first id holds for 4 flits, then the other.
+        assert_eq!(
+            ids[0..4]
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            1
+        );
+        assert_eq!(
+            ids[4..8]
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            1
+        );
+        assert_ne!(ids[0], ids[4]);
+    }
+
+    #[test]
+    fn round_robin_alternates_single_flit_packets() {
+        let mut sw = Switch::new(SwitchConfig::new(2, 1, 32));
+        let mut f0 = VecDeque::new();
+        let mut f1 = VecDeque::new();
+        for k in 0..4 {
+            f0.push_back(packet_flits(10 + k, &[0], 0).remove(0));
+            f1.push_back(packet_flits(20 + k, &[0], 0).remove(0));
+        }
+        let out = run_switch(&mut sw, vec![f0, f1], 40);
+        let ids: Vec<u64> = out[0].iter().map(|f| f.meta.packet_id).collect();
+        assert_eq!(ids.len(), 8);
+        // Round robin ⇒ strict alternation between the two tens-groups.
+        for pair in ids.windows(2) {
+            assert_ne!(pair[0] / 10, pair[1] / 10, "sequence {ids:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_priority_prefers_input_zero() {
+        let mut cfg = SwitchConfig::new(2, 1, 32);
+        cfg.arbitration = Arbitration::Fixed;
+        let mut sw = Switch::new(cfg);
+        let mut f0 = VecDeque::new();
+        let mut f1 = VecDeque::new();
+        for k in 0..3 {
+            f0.push_back(packet_flits(10 + k, &[0], 0).remove(0));
+            f1.push_back(packet_flits(20 + k, &[0], 0).remove(0));
+        }
+        let out = run_switch(&mut sw, vec![f0, f1], 40);
+        let ids: Vec<u64> = out[0].iter().map(|f| f.meta.packet_id).collect();
+        // All of input 0's packets must precede any steady-state win by
+        // input 1 beyond pipeline effects: input 0 packets appear in order
+        // and the first two outputs are both input-0 packets.
+        assert_eq!(ids.iter().filter(|&&id| id < 20).count(), 3);
+        assert!(ids[0] < 20);
+    }
+
+    #[test]
+    fn output_queue_backpressure_counts_stalls() {
+        // Output 0 is never drained (transmit not called): queue fills,
+        // crossbar stalls.
+        let mut sw = Switch::new(SwitchConfig::new(1, 1, 32));
+        let mut seq = 0u8;
+        let mut feed: VecDeque<Flit> = (0..12_u64)
+            .map(|k| packet_flits(k, &[0], 0).remove(0))
+            .collect();
+        for _ in 0..40 {
+            sw.crossbar();
+            if let Some(front) = feed.front() {
+                let lf = LinkFlit {
+                    flit: front.clone(),
+                    seq,
+                    corrupted: false,
+                };
+                if let Some(reply) = sw.receive(0, Some(lf)) {
+                    if reply.ack {
+                        feed.pop_front();
+                        seq = (seq + 1) % 64;
+                    }
+                }
+            }
+        }
+        // Queue capacity is 6: exactly 6 flits inside, rest stalled.
+        assert_eq!(sw.queue_len(0), 6);
+        assert!(sw.stats().contention_stalls > 0);
+    }
+
+    #[test]
+    fn queue_high_water_mark_tracked() {
+        let mut sw = Switch::new(SwitchConfig::new(1, 1, 32));
+        let feed: VecDeque<Flit> = (0..4u64)
+            .map(|k| packet_flits(k, &[0], 0).remove(0))
+            .collect();
+        // Never drain output 0: occupancy climbs to the feed size.
+        let mut seq = 0u8;
+        let mut feed = feed;
+        for _ in 0..30 {
+            sw.crossbar();
+            if let Some(front) = feed.front() {
+                let lf = LinkFlit {
+                    flit: front.clone(),
+                    seq,
+                    corrupted: false,
+                };
+                if let Some(reply) = sw.receive(0, Some(lf)) {
+                    if reply.ack {
+                        feed.pop_front();
+                        seq = (seq + 1) % 64;
+                    }
+                }
+            }
+        }
+        assert_eq!(sw.stats().max_queue_depth, 4);
+    }
+
+    #[test]
+    fn is_idle_reflects_buffers() {
+        let mut sw = Switch::new(SwitchConfig::new(1, 1, 32));
+        assert!(sw.is_idle());
+        let flit = packet_flits(1, &[0], 0).remove(0);
+        sw.receive(
+            0,
+            Some(LinkFlit {
+                flit,
+                seq: 0,
+                corrupted: false,
+            }),
+        );
+        assert!(!sw.is_idle());
+    }
+
+    #[test]
+    fn corrupted_arrival_nacked_and_not_stored() {
+        let mut sw = Switch::new(SwitchConfig::new(1, 1, 32));
+        let flit = packet_flits(1, &[0], 0).remove(0);
+        let reply = sw
+            .receive(
+                0,
+                Some(LinkFlit {
+                    flit,
+                    seq: 0,
+                    corrupted: true,
+                }),
+            )
+            .unwrap();
+        assert!(!reply.ack);
+        assert!(sw.is_idle());
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_output_port_panics() {
+        let mut sw = Switch::new(SwitchConfig::new(1, 1, 32));
+        sw.transmit(5, None);
+    }
+}

@@ -1,0 +1,339 @@
+//! Reference behavioural OCP cores: a slave memory and a scripted master.
+//!
+//! These stand in for the IP cores of a real MPSoC so that an assembled
+//! xpipes NoC can be simulated end-to-end. Both are deliberately simple —
+//! fidelity lives in the protocol, not in the cores.
+
+use std::collections::HashMap;
+
+use crate::transaction::{OcpError, Request, Response};
+use crate::types::{MCmd, SResp};
+
+/// A behavioural OCP slave: a 64-bit-word memory with configurable access
+/// latency.
+///
+/// # Examples
+///
+/// ```
+/// use xpipes_ocp::{SlaveMemory, Request, SResp};
+///
+/// # fn main() -> Result<(), xpipes_ocp::OcpError> {
+/// let mut mem = SlaveMemory::new(2); // 2-cycle access latency
+/// mem.execute(&Request::write(0x100, vec![0xAB])?);
+/// let resp = mem.execute(&Request::read(0x100, 1)?).expect("reads respond");
+/// assert_eq!(resp.resp(), SResp::Dva);
+/// assert_eq!(resp.data(), &[0xAB]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SlaveMemory {
+    words: HashMap<u64, u64>,
+    latency: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl SlaveMemory {
+    /// Creates an empty memory with the given access latency in cycles.
+    pub fn new(latency: u64) -> Self {
+        SlaveMemory {
+            words: HashMap::new(),
+            latency,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Access latency in cycles (modelled by the NI/simulator when
+    /// scheduling the response).
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Number of read transactions served.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of write transactions served.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Reads a word directly (test backdoor).
+    pub fn peek(&self, addr: u64) -> u64 {
+        self.words.get(&(addr & !7)).copied().unwrap_or(0)
+    }
+
+    /// Writes a word directly (test backdoor).
+    pub fn poke(&mut self, addr: u64, value: u64) {
+        self.words.insert(addr & !7, value);
+    }
+
+    /// Executes a whole transaction, returning the response if the command
+    /// expects one. Addresses are word-aligned internally (8-byte words);
+    /// writes honour the per-byte enables (`MByteEn`).
+    pub fn execute(&mut self, req: &Request) -> Option<Response> {
+        match req.cmd() {
+            MCmd::Write | MCmd::WriteNonPost => {
+                self.writes += 1;
+                for beat in req.to_beats() {
+                    let addr = beat.addr & !7;
+                    let mask = byte_mask(beat.byte_en);
+                    let old = self.words.get(&addr).copied().unwrap_or(0);
+                    self.words.insert(addr, (old & !mask) | (beat.data & mask));
+                }
+                if req.expects_response() {
+                    Some(Response::for_request(req, vec![]).expect("write ack carries no data"))
+                } else {
+                    None
+                }
+            }
+            MCmd::Read | MCmd::ReadEx => {
+                self.reads += 1;
+                let data: Vec<u64> = (0..req.burst_len())
+                    .map(|beat| {
+                        let addr = req
+                            .burst_seq()
+                            .beat_addr(req.addr(), beat, req.burst_len(), 8);
+                        self.peek(addr)
+                    })
+                    .collect();
+                Some(Response::for_request(req, data).expect("length matches burst"))
+            }
+            MCmd::Idle => None,
+        }
+    }
+}
+
+/// Expands an 8-lane byte-enable field into a 64-bit write mask.
+fn byte_mask(byte_en: u8) -> u64 {
+    let mut mask = 0u64;
+    for lane in 0..8 {
+        if byte_en & (1 << lane) != 0 {
+            mask |= 0xFFu64 << (lane * 8);
+        }
+    }
+    mask
+}
+
+/// A scripted OCP master: issues a fixed list of transactions in order and
+/// collects the responses, validating them against expectations.
+///
+/// # Examples
+///
+/// ```
+/// use xpipes_ocp::{MasterScript, SlaveMemory, Request};
+///
+/// # fn main() -> Result<(), xpipes_ocp::OcpError> {
+/// let mut master = MasterScript::new();
+/// master.push(Request::write(0x0, vec![1])?);
+/// master.push(Request::read(0x0, 1)?);
+///
+/// let mut mem = SlaveMemory::new(0);
+/// while let Some(req) = master.next_request() {
+///     if let Some(resp) = mem.execute(&req) {
+///         master.deliver(resp);
+///     }
+/// }
+/// assert!(master.done());
+/// assert_eq!(master.responses()[0].data(), &[1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MasterScript {
+    script: Vec<Request>,
+    cursor: usize,
+    pending: usize,
+    responses: Vec<Response>,
+    errors: Vec<OcpError>,
+}
+
+impl MasterScript {
+    /// Creates an empty script.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a transaction to the script.
+    pub fn push(&mut self, req: Request) {
+        self.script.push(req);
+    }
+
+    /// Next transaction to issue, advancing the cursor. `None` when the
+    /// script is exhausted.
+    pub fn next_request(&mut self) -> Option<Request> {
+        let req = self.script.get(self.cursor)?.clone();
+        self.cursor += 1;
+        if req.expects_response() {
+            self.pending += 1;
+        }
+        Some(req)
+    }
+
+    /// Delivers a response to the master.
+    pub fn deliver(&mut self, resp: Response) {
+        if self.pending == 0 {
+            self.errors.push(OcpError::ResponseLengthMismatch {
+                expected: 0,
+                got: resp.data().len(),
+            });
+        } else {
+            self.pending -= 1;
+        }
+        self.responses.push(resp);
+    }
+
+    /// All responses received so far, in arrival order.
+    pub fn responses(&self) -> &[Response] {
+        &self.responses
+    }
+
+    /// Responses with an error code.
+    pub fn error_responses(&self) -> usize {
+        self.responses
+            .iter()
+            .filter(|r| r.resp() != SResp::Dva)
+            .count()
+    }
+
+    /// True when every scripted transaction has been issued and all
+    /// expected responses have arrived.
+    pub fn done(&self) -> bool {
+        self.cursor == self.script.len() && self.pending == 0
+    }
+
+    /// Transactions not yet issued.
+    pub fn remaining(&self) -> usize {
+        self.script.len() - self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::RequestBuilder;
+    use crate::types::BurstSeq;
+
+    #[test]
+    fn memory_write_then_read() {
+        let mut mem = SlaveMemory::new(1);
+        assert!(mem
+            .execute(&Request::write(0x20, vec![7, 8]).unwrap())
+            .is_none());
+        let resp = mem.execute(&Request::read(0x20, 2).unwrap()).unwrap();
+        assert_eq!(resp.data(), &[7, 8]);
+        assert_eq!(mem.reads(), 1);
+        assert_eq!(mem.writes(), 1);
+    }
+
+    #[test]
+    fn memory_unwritten_reads_zero() {
+        let mut mem = SlaveMemory::new(0);
+        let resp = mem
+            .execute(&Request::read(0xDEAD_BEE8, 1).unwrap())
+            .unwrap();
+        assert_eq!(resp.data(), &[0]);
+    }
+
+    #[test]
+    fn memory_word_aligns_addresses() {
+        let mut mem = SlaveMemory::new(0);
+        mem.poke(0x101, 42); // aligns to 0x100
+        assert_eq!(mem.peek(0x107), 42);
+        assert_eq!(mem.peek(0x108), 0);
+    }
+
+    #[test]
+    fn byte_enables_merge_partial_writes() {
+        let mut mem = SlaveMemory::new(0);
+        mem.poke(0x20, 0x1122_3344_5566_7788);
+        // Write only the low two byte lanes.
+        let req = RequestBuilder::new(MCmd::Write, 0x20)
+            .data(vec![0xAAAA_BBBB_CCCC_DDDD])
+            .byte_en(0b0000_0011)
+            .build()
+            .unwrap();
+        mem.execute(&req);
+        assert_eq!(mem.peek(0x20), 0x1122_3344_5566_DDDD);
+        // Full enables replace the word.
+        mem.execute(&Request::write(0x20, vec![5]).unwrap());
+        assert_eq!(mem.peek(0x20), 5);
+    }
+
+    #[test]
+    fn byte_mask_expansion() {
+        assert_eq!(byte_mask(0xFF), u64::MAX);
+        assert_eq!(byte_mask(0x00), 0);
+        assert_eq!(byte_mask(0b1000_0001), 0xFF00_0000_0000_00FF);
+    }
+
+    #[test]
+    fn memory_nonposted_write_acks() {
+        let mut mem = SlaveMemory::new(0);
+        let req = RequestBuilder::new(MCmd::WriteNonPost, 0x8)
+            .data(vec![1])
+            .build()
+            .unwrap();
+        let resp = mem.execute(&req).unwrap();
+        assert_eq!(resp.resp(), SResp::Dva);
+        assert!(resp.data().is_empty());
+    }
+
+    #[test]
+    fn memory_wrap_burst_reads_in_wrap_order() {
+        let mut mem = SlaveMemory::new(0);
+        for i in 0..4u64 {
+            mem.poke(0x100 + i * 8, 100 + i);
+        }
+        let req = RequestBuilder::new(MCmd::Read, 0x110)
+            .burst_len(4)
+            .burst_seq(BurstSeq::Wrap)
+            .build()
+            .unwrap();
+        let resp = mem.execute(&req).unwrap();
+        assert_eq!(resp.data(), &[102, 103, 100, 101]);
+    }
+
+    #[test]
+    fn script_runs_to_completion() {
+        let mut master = MasterScript::new();
+        master.push(Request::write(0x0, vec![5]).unwrap());
+        master.push(Request::read(0x0, 1).unwrap());
+        master.push(Request::read(0x8, 1).unwrap());
+        let mut mem = SlaveMemory::new(0);
+        while let Some(req) = master.next_request() {
+            if let Some(resp) = mem.execute(&req) {
+                master.deliver(resp);
+            }
+        }
+        assert!(master.done());
+        assert_eq!(master.remaining(), 0);
+        assert_eq!(master.responses().len(), 2);
+        assert_eq!(master.error_responses(), 0);
+    }
+
+    #[test]
+    fn script_tracks_pending() {
+        let mut master = MasterScript::new();
+        master.push(Request::read(0, 1).unwrap());
+        let req = master.next_request().unwrap();
+        assert!(!master.done()); // response outstanding
+        master.deliver(Response::for_request(&req, vec![0]).unwrap());
+        assert!(master.done());
+    }
+
+    #[test]
+    fn unexpected_response_recorded_as_error() {
+        let mut master = MasterScript::new();
+        master.deliver(Response::from_parts(
+            SResp::Dva,
+            vec![],
+            Default::default(),
+            0,
+        ));
+        assert!(!master.errors.is_empty());
+    }
+}

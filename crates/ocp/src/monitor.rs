@@ -1,0 +1,463 @@
+//! OCP protocol-compliance monitor.
+//!
+//! The monitor observes the beat streams crossing an OCP interface and
+//! flags violations of the rules the xpipes NI relies on. It is attached in
+//! integration tests and can be enabled on any simulated socket.
+
+use std::fmt;
+
+use crate::transaction::{ReqBeat, RespBeat};
+use crate::types::{MCmd, SResp, ThreadId};
+
+/// A detected protocol violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Command changed in the middle of a burst.
+    CmdChangedMidBurst {
+        thread: ThreadId,
+        was: MCmd,
+        now: MCmd,
+    },
+    /// Beat index did not increment by one.
+    NonContiguousBeat {
+        thread: ThreadId,
+        expected: u32,
+        got: u32,
+    },
+    /// More beats presented than the declared burst length.
+    BurstOverrun { thread: ThreadId, burst_len: u32 },
+    /// `last` asserted before the declared burst length was reached.
+    PrematureLast {
+        thread: ThreadId,
+        beat: u32,
+        burst_len: u32,
+    },
+    /// `last` missing on the final beat.
+    MissingLast { thread: ThreadId, burst_len: u32 },
+    /// A response arrived on a thread with no outstanding request.
+    OrphanResponse { thread: ThreadId, tag: u8 },
+    /// A `Null` response code was presented as a valid beat.
+    NullResponseBeat { thread: ThreadId },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::CmdChangedMidBurst { thread, was, now } => {
+                write!(f, "{thread}: command changed mid-burst from {was} to {now}")
+            }
+            Violation::NonContiguousBeat {
+                thread,
+                expected,
+                got,
+            } => {
+                write!(f, "{thread}: beat {got} where {expected} expected")
+            }
+            Violation::BurstOverrun { thread, burst_len } => {
+                write!(f, "{thread}: more than {burst_len} beats presented")
+            }
+            Violation::PrematureLast {
+                thread,
+                beat,
+                burst_len,
+            } => {
+                write!(f, "{thread}: last asserted at beat {beat} of {burst_len}")
+            }
+            Violation::MissingLast { thread, burst_len } => {
+                write!(f, "{thread}: final beat {burst_len} missing last")
+            }
+            Violation::OrphanResponse { thread, tag } => {
+                write!(
+                    f,
+                    "{thread}: response tag {tag} without outstanding request"
+                )
+            }
+            Violation::NullResponseBeat { thread } => {
+                write!(f, "{thread}: NULL response presented as a beat")
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BurstState {
+    cmd: MCmd,
+    burst_len: u32,
+    next_beat: u32,
+}
+
+/// Observes request and response beats and records violations.
+///
+/// One monitor instance watches one OCP socket. Outstanding-request
+/// tracking is per `(thread, tag)` pair, supporting the threading
+/// extensions.
+///
+/// # Examples
+///
+/// ```
+/// use xpipes_ocp::{Monitor, Request};
+///
+/// # fn main() -> Result<(), xpipes_ocp::OcpError> {
+/// let mut mon = Monitor::new();
+/// let req = Request::write(0x10, vec![1, 2])?;
+/// for beat in req.to_beats() {
+///     mon.observe_request(&beat);
+/// }
+/// assert!(mon.violations().is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Monitor {
+    bursts: Vec<(ThreadId, BurstState)>,
+    outstanding: Vec<(ThreadId, u8, u32)>, // thread, tag, expected beats
+    violations: Vec<Violation>,
+    requests_seen: u64,
+    responses_seen: u64,
+}
+
+impl Monitor {
+    /// Creates an idle monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Number of request beats observed.
+    pub fn requests_seen(&self) -> u64 {
+        self.requests_seen
+    }
+
+    /// Number of response beats observed.
+    pub fn responses_seen(&self) -> u64 {
+        self.responses_seen
+    }
+
+    /// True when no violations were detected.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Feeds one request beat.
+    pub fn observe_request(&mut self, beat: &ReqBeat) {
+        self.requests_seen += 1;
+        let thread = beat.thread;
+        let idx = self.bursts.iter().position(|(t, _)| *t == thread);
+        match idx {
+            None => {
+                // New burst begins.
+                if beat.beat != 0 {
+                    self.violations.push(Violation::NonContiguousBeat {
+                        thread,
+                        expected: 0,
+                        got: beat.beat,
+                    });
+                }
+                let total = if beat.cmd.carries_data() {
+                    beat.burst_len
+                } else {
+                    1
+                };
+                if beat.last {
+                    if beat.beat + 1 < total {
+                        self.violations.push(Violation::PrematureLast {
+                            thread,
+                            beat: beat.beat,
+                            burst_len: total,
+                        });
+                    }
+                    self.complete_request(beat);
+                } else {
+                    self.bursts.push((
+                        thread,
+                        BurstState {
+                            cmd: beat.cmd,
+                            burst_len: total,
+                            next_beat: 1,
+                        },
+                    ));
+                }
+            }
+            Some(i) => {
+                let state = &mut self.bursts[i].1;
+                if beat.cmd != state.cmd {
+                    self.violations.push(Violation::CmdChangedMidBurst {
+                        thread,
+                        was: state.cmd,
+                        now: beat.cmd,
+                    });
+                }
+                if beat.beat != state.next_beat {
+                    self.violations.push(Violation::NonContiguousBeat {
+                        thread,
+                        expected: state.next_beat,
+                        got: beat.beat,
+                    });
+                }
+                if beat.beat >= state.burst_len {
+                    self.violations.push(Violation::BurstOverrun {
+                        thread,
+                        burst_len: state.burst_len,
+                    });
+                }
+                state.next_beat = beat.beat + 1;
+                let done = beat.last;
+                let premature = beat.last && beat.beat + 1 < state.burst_len;
+                let missing = !beat.last && beat.beat + 1 == state.burst_len;
+                let burst_len = state.burst_len;
+                if premature {
+                    self.violations.push(Violation::PrematureLast {
+                        thread,
+                        beat: beat.beat,
+                        burst_len,
+                    });
+                }
+                if missing {
+                    self.violations
+                        .push(Violation::MissingLast { thread, burst_len });
+                }
+                if done || missing {
+                    self.bursts.remove(i);
+                    self.complete_request(beat);
+                }
+            }
+        }
+    }
+
+    fn complete_request(&mut self, beat: &ReqBeat) {
+        if beat.cmd.expects_response() {
+            let beats = match beat.cmd {
+                MCmd::Read | MCmd::ReadEx => beat.burst_len,
+                _ => 1,
+            };
+            self.outstanding.push((beat.thread, beat.tag, beats));
+        }
+    }
+
+    /// Feeds one response beat.
+    pub fn observe_response(&mut self, beat: &RespBeat) {
+        self.responses_seen += 1;
+        if beat.resp == SResp::Null {
+            self.violations.push(Violation::NullResponseBeat {
+                thread: beat.thread,
+            });
+            return;
+        }
+        let pos = self
+            .outstanding
+            .iter()
+            .position(|(t, tag, _)| *t == beat.thread && *tag == beat.tag);
+        match pos {
+            None => {
+                self.violations.push(Violation::OrphanResponse {
+                    thread: beat.thread,
+                    tag: beat.tag,
+                });
+            }
+            Some(i) => {
+                let remaining = &mut self.outstanding[i].2;
+                *remaining = remaining.saturating_sub(1);
+                if beat.last || *remaining == 0 {
+                    self.outstanding.remove(i);
+                }
+            }
+        }
+    }
+
+    /// Number of requests still awaiting a response.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::{Request, RequestBuilder, Response};
+
+    fn feed_request(mon: &mut Monitor, req: &Request) {
+        for beat in req.to_beats() {
+            mon.observe_request(&beat);
+        }
+    }
+
+    #[test]
+    fn clean_write_burst() {
+        let mut mon = Monitor::new();
+        feed_request(&mut mon, &Request::write(0, vec![1, 2, 3]).unwrap());
+        assert!(mon.is_clean(), "{:?}", mon.violations());
+        assert_eq!(mon.requests_seen(), 3);
+        assert_eq!(mon.outstanding(), 0); // posted write: no response
+    }
+
+    #[test]
+    fn clean_read_and_response() {
+        let mut mon = Monitor::new();
+        let req = Request::read(0, 2).unwrap();
+        feed_request(&mut mon, &req);
+        assert_eq!(mon.outstanding(), 1);
+        let resp = Response::for_request(&req, vec![4, 5]).unwrap();
+        for beat in resp.to_beats() {
+            mon.observe_response(&beat);
+        }
+        assert!(mon.is_clean(), "{:?}", mon.violations());
+        assert_eq!(mon.outstanding(), 0);
+    }
+
+    #[test]
+    fn orphan_response_detected() {
+        let mut mon = Monitor::new();
+        let resp = Response::from_parts(SResp::Dva, vec![1], ThreadId(0), 7);
+        for beat in resp.to_beats() {
+            mon.observe_response(&beat);
+        }
+        assert_eq!(
+            mon.violations(),
+            &[Violation::OrphanResponse {
+                thread: ThreadId(0),
+                tag: 7
+            }]
+        );
+    }
+
+    #[test]
+    fn null_response_detected() {
+        let mut mon = Monitor::new();
+        let beat = RespBeat {
+            resp: SResp::Null,
+            data: 0,
+            beat: 0,
+            last: true,
+            thread: ThreadId(1),
+            tag: 0,
+        };
+        mon.observe_response(&beat);
+        assert_eq!(
+            mon.violations(),
+            &[Violation::NullResponseBeat {
+                thread: ThreadId(1)
+            }]
+        );
+    }
+
+    #[test]
+    fn premature_last_detected() {
+        let mut mon = Monitor::new();
+        let req = Request::write(0, vec![1, 2, 3]).unwrap();
+        let mut beats: Vec<_> = req.to_beats().collect();
+        beats[1].last = true; // lie: burst of 3 ends at beat 1
+        mon.observe_request(&beats[0]);
+        mon.observe_request(&beats[1]);
+        assert!(mon.violations().iter().any(|v| matches!(
+            v,
+            Violation::PrematureLast {
+                beat: 1,
+                burst_len: 3,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn missing_last_detected() {
+        let mut mon = Monitor::new();
+        let req = Request::write(0, vec![1, 2]).unwrap();
+        let mut beats: Vec<_> = req.to_beats().collect();
+        beats[1].last = false;
+        for b in &beats {
+            mon.observe_request(b);
+        }
+        assert!(mon
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::MissingLast { burst_len: 2, .. })));
+    }
+
+    #[test]
+    fn command_change_mid_burst_detected() {
+        let mut mon = Monitor::new();
+        let req = Request::write(0, vec![1, 2, 3]).unwrap();
+        let mut beats: Vec<_> = req.to_beats().collect();
+        beats[1].cmd = MCmd::WriteNonPost;
+        mon.observe_request(&beats[0]);
+        mon.observe_request(&beats[1]);
+        assert!(mon
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::CmdChangedMidBurst { .. })));
+    }
+
+    #[test]
+    fn non_contiguous_beat_detected() {
+        let mut mon = Monitor::new();
+        let req = Request::write(0, vec![1, 2, 3]).unwrap();
+        let beats: Vec<_> = req.to_beats().collect();
+        mon.observe_request(&beats[0]);
+        mon.observe_request(&beats[2]); // skipped beat 1
+        assert!(mon.violations().iter().any(|v| matches!(
+            v,
+            Violation::NonContiguousBeat {
+                expected: 1,
+                got: 2,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn interleaved_threads_tracked_independently() {
+        let mut mon = Monitor::new();
+        let a = RequestBuilder::new(MCmd::Write, 0)
+            .data(vec![1, 2])
+            .thread(ThreadId(0))
+            .build()
+            .unwrap();
+        let b = RequestBuilder::new(MCmd::Write, 0)
+            .data(vec![3, 4])
+            .thread(ThreadId(1))
+            .build()
+            .unwrap();
+        let ab: Vec<_> = a.to_beats().collect();
+        let bb: Vec<_> = b.to_beats().collect();
+        // Interleave: a0 b0 a1 b1 — legal thanks to threading extensions.
+        mon.observe_request(&ab[0]);
+        mon.observe_request(&bb[0]);
+        mon.observe_request(&ab[1]);
+        mon.observe_request(&bb[1]);
+        assert!(mon.is_clean(), "{:?}", mon.violations());
+    }
+
+    #[test]
+    fn nonposted_write_expects_ack() {
+        let mut mon = Monitor::new();
+        let req = RequestBuilder::new(MCmd::WriteNonPost, 0)
+            .data(vec![9])
+            .tag(3)
+            .build()
+            .unwrap();
+        feed_request(&mut mon, &req);
+        assert_eq!(mon.outstanding(), 1);
+        let resp = Response::for_request(&req, vec![]).unwrap();
+        for beat in resp.to_beats() {
+            mon.observe_response(&beat);
+        }
+        assert_eq!(mon.outstanding(), 0);
+        assert!(mon.is_clean());
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::OrphanResponse {
+            thread: ThreadId(2),
+            tag: 5,
+        };
+        assert_eq!(
+            v.to_string(),
+            "T2: response tag 5 without outstanding request"
+        );
+    }
+}

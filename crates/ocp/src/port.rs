@@ -1,0 +1,381 @@
+//! Cycle-level OCP ports: the request/response beat handshake.
+//!
+//! The transaction types in [`crate::transaction`] describe *what* moves;
+//! these port FSMs describe *when*: a master presents one request beat
+//! per cycle and holds it until the slave asserts `SCmdAccept`; the slave
+//! presents response beats that the master accepts with `MRespAccept`.
+//! The xpipes NI's OCP front end behaves exactly like [`SlavePort`]
+//! toward the master core; these types let tests (and users embedding
+//! real core models) drive the library at beat granularity.
+
+use std::collections::VecDeque;
+
+use crate::cores::SlaveMemory;
+use crate::transaction::{ReqBeat, Request, RespBeat, Response};
+
+/// Cycle-level master port: issues queued transactions beat by beat.
+///
+/// # Examples
+///
+/// ```
+/// use xpipes_ocp::port::MasterPort;
+/// use xpipes_ocp::Request;
+///
+/// # fn main() -> Result<(), xpipes_ocp::OcpError> {
+/// let mut master = MasterPort::new();
+/// master.enqueue(Request::write(0x0, vec![1, 2])?);
+/// let beat = master.request_phase().expect("a beat is presented");
+/// assert_eq!(beat.beat, 0);
+/// master.request_accepted(); // slave asserted SCmdAccept
+/// assert_eq!(master.request_phase().expect("next beat").beat, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MasterPort {
+    queue: VecDeque<Request>,
+    current: Option<(Request, u32)>,
+    responses: Vec<Response>,
+    resp_assembly: Vec<RespBeat>,
+    beats_issued: u64,
+    outstanding: usize,
+}
+
+impl MasterPort {
+    /// Creates an idle master port.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a transaction for issue.
+    pub fn enqueue(&mut self, req: Request) {
+        self.queue.push_back(req);
+    }
+
+    /// The request beat presented this cycle (`None` = `MCmd::Idle`).
+    /// The same beat is presented every cycle until
+    /// [`request_accepted`](Self::request_accepted) — OCP's hold rule.
+    pub fn request_phase(&mut self) -> Option<ReqBeat> {
+        if self.current.is_none() {
+            let req = self.queue.pop_front()?;
+            self.current = Some((req, 0));
+        }
+        let (req, beat) = self.current.as_ref().expect("just ensured");
+        req.to_beats().nth(*beat as usize)
+    }
+
+    /// Advances past the currently presented beat (the slave asserted
+    /// `SCmdAccept` this cycle).
+    pub fn request_accepted(&mut self) {
+        let Some((req, beat)) = self.current.as_mut() else {
+            return;
+        };
+        self.beats_issued += 1;
+        let total = req.to_beats().len() as u32;
+        *beat += 1;
+        if *beat >= total {
+            if req.expects_response() {
+                self.outstanding += 1;
+            }
+            self.current = None;
+        }
+    }
+
+    /// Accepts a response beat (`MRespAccept` is always asserted — the
+    /// master is never the bottleneck in this model). Whole responses are
+    /// assembled and retrievable via [`take_response`](Self::take_response).
+    pub fn response_phase(&mut self, beat: RespBeat) {
+        let last = beat.last;
+        self.resp_assembly.push(beat);
+        if last {
+            let beats = std::mem::take(&mut self.resp_assembly);
+            let first = beats.first().expect("nonempty");
+            let data: Vec<u64> = if beats.len() == 1 && beats[0].data == 0 {
+                // A lone zero-data beat is a data-less acknowledgement.
+                Vec::new()
+            } else {
+                beats.iter().map(|b| b.data).collect()
+            };
+            self.responses.push(Response::from_parts(
+                first.resp,
+                data,
+                first.thread,
+                first.tag,
+            ));
+            self.outstanding = self.outstanding.saturating_sub(1);
+        }
+    }
+
+    /// A completed response, if any.
+    pub fn take_response(&mut self) -> Option<Response> {
+        if self.responses.is_empty() {
+            None
+        } else {
+            Some(self.responses.remove(0))
+        }
+    }
+
+    /// Transactions issued and awaiting responses.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Total request beats accepted by the slave.
+    pub fn beats_issued(&self) -> u64 {
+        self.beats_issued
+    }
+
+    /// True when nothing is queued, in flight or outstanding.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+            && self.current.is_none()
+            && self.outstanding == 0
+            && self.resp_assembly.is_empty()
+    }
+}
+
+/// Cycle-level slave port fronting a [`SlaveMemory`]: accepts request
+/// beats (with configurable acceptance stalling), executes completed
+/// transactions, and presents response beats after the access latency.
+#[derive(Debug, Clone)]
+pub struct SlavePort {
+    memory: SlaveMemory,
+    /// Beats of the burst being assembled.
+    assembly: Vec<ReqBeat>,
+    /// (remaining latency, beats) queues awaiting presentation.
+    pending: VecDeque<(u64, VecDeque<RespBeat>)>,
+    /// Stall pattern: accept a beat only when `stall_counter == 0`.
+    accept_every: u64,
+    stall_counter: u64,
+}
+
+impl SlavePort {
+    /// Creates a slave port over `memory` that accepts a beat every
+    /// cycle.
+    pub fn new(memory: SlaveMemory) -> Self {
+        SlavePort {
+            memory,
+            assembly: Vec::new(),
+            pending: VecDeque::new(),
+            accept_every: 1,
+            stall_counter: 0,
+        }
+    }
+
+    /// Accepts only one beat every `n` cycles (models a slow slave;
+    /// `n = 1` accepts every cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    #[must_use]
+    pub fn with_accept_every(mut self, n: u64) -> Self {
+        assert!(n > 0, "acceptance interval must be positive");
+        self.accept_every = n;
+        self
+    }
+
+    /// The backing memory.
+    pub fn memory(&self) -> &SlaveMemory {
+        &self.memory
+    }
+
+    /// One clock cycle: consider the master's presented beat (returning
+    /// `SCmdAccept`), and produce at most one response beat.
+    pub fn cycle(&mut self, presented: Option<ReqBeat>) -> (bool, Option<RespBeat>) {
+        // Request side.
+        let mut accept = false;
+        if let Some(beat) = presented {
+            if self.stall_counter == 0 {
+                accept = true;
+                self.stall_counter = self.accept_every - 1;
+                let is_last = beat.last;
+                self.assembly.push(beat);
+                if is_last {
+                    self.execute_assembled();
+                }
+            } else {
+                self.stall_counter -= 1;
+            }
+        } else if self.stall_counter > 0 {
+            self.stall_counter -= 1;
+        }
+
+        // Response side: age pending responses, present the head beat.
+        for entry in &mut self.pending {
+            entry.0 = entry.0.saturating_sub(1);
+        }
+        let mut beat_out = None;
+        if let Some(front) = self.pending.front_mut() {
+            if front.0 == 0 {
+                beat_out = front.1.pop_front();
+                if front.1.is_empty() {
+                    self.pending.pop_front();
+                }
+            }
+        }
+        (accept, beat_out)
+    }
+
+    fn execute_assembled(&mut self) {
+        let beats = std::mem::take(&mut self.assembly);
+        let Some(req) = rebuild_request(&beats) else {
+            return;
+        };
+        if let Some(resp) = self.memory.execute(&req) {
+            self.pending
+                .push_back((self.memory.latency().max(1), resp.to_beats().into()));
+        }
+    }
+
+    /// True when no burst is half-assembled and no response is pending.
+    pub fn is_idle(&self) -> bool {
+        self.assembly.is_empty() && self.pending.is_empty()
+    }
+}
+
+/// Reassembles a transaction from its accepted beats.
+fn rebuild_request(beats: &[ReqBeat]) -> Option<Request> {
+    let first = beats.first()?;
+    let builder = crate::transaction::RequestBuilder::new(first.cmd, first.addr)
+        .thread(first.thread)
+        .tag(first.tag)
+        .sideband(first.sideband)
+        .byte_en(first.byte_en);
+    let builder = if first.cmd.carries_data() {
+        builder.data(beats.iter().map(|b| b.data).collect())
+    } else {
+        builder.burst_len(first.burst_len)
+    };
+    builder.build().ok()
+}
+
+/// Runs a master and slave port in lock-step for up to `max_cycles`;
+/// returns the cycles consumed, or `None` if the system failed to drain.
+pub fn run_connected(
+    master: &mut MasterPort,
+    slave: &mut SlavePort,
+    max_cycles: u64,
+) -> Option<u64> {
+    for cycle in 0..max_cycles {
+        if master.is_idle() && slave.is_idle() {
+            return Some(cycle);
+        }
+        let presented = master.request_phase();
+        let (accept, resp_beat) = slave.cycle(presented);
+        if accept {
+            master.request_accepted();
+        }
+        if let Some(beat) = resp_beat {
+            master.response_phase(beat);
+        }
+    }
+    (master.is_idle() && slave.is_idle()).then_some(max_cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::RequestBuilder;
+    use crate::types::{MCmd, SResp};
+
+    #[test]
+    fn write_then_read_through_ports() {
+        let mut master = MasterPort::new();
+        master.enqueue(Request::write(0x10, vec![7, 8]).unwrap());
+        master.enqueue(Request::read(0x10, 2).unwrap());
+        let mut slave = SlavePort::new(SlaveMemory::new(2));
+        let cycles = run_connected(&mut master, &mut slave, 1000).expect("drains");
+        assert!(cycles >= 4, "beats + latency take time: {cycles}");
+        let resp = master.take_response().expect("read completed");
+        assert_eq!(resp.resp(), SResp::Dva);
+        assert_eq!(resp.data(), &[7, 8]);
+        assert_eq!(master.beats_issued(), 3); // 2 write beats + 1 read beat
+    }
+
+    #[test]
+    fn beat_held_until_accepted() {
+        let mut master = MasterPort::new();
+        master.enqueue(Request::write(0x0, vec![1, 2]).unwrap());
+        let b1 = master.request_phase().expect("presented");
+        let b2 = master.request_phase().expect("still presented");
+        assert_eq!(b1, b2, "beat must hold without SCmdAccept");
+        master.request_accepted();
+        let b3 = master.request_phase().expect("next");
+        assert_ne!(b1.beat, b3.beat);
+    }
+
+    #[test]
+    fn slow_slave_stalls_master() {
+        let mut fast_m = MasterPort::new();
+        fast_m.enqueue(Request::write(0x0, vec![1, 2, 3, 4]).unwrap());
+        let mut fast_s = SlavePort::new(SlaveMemory::new(1));
+        let fast = run_connected(&mut fast_m, &mut fast_s, 1000).expect("drains");
+
+        let mut slow_m = MasterPort::new();
+        slow_m.enqueue(Request::write(0x0, vec![1, 2, 3, 4]).unwrap());
+        let mut slow_s = SlavePort::new(SlaveMemory::new(1)).with_accept_every(3);
+        let slow = run_connected(&mut slow_m, &mut slow_s, 1000).expect("drains");
+        assert!(slow > fast, "fast {fast} slow {slow}");
+        assert_eq!(slow_s.memory().peek(0x18), 4, "data still lands correctly");
+    }
+
+    #[test]
+    fn nonposted_write_acknowledged() {
+        let mut master = MasterPort::new();
+        master.enqueue(
+            RequestBuilder::new(MCmd::WriteNonPost, 0x8)
+                .data(vec![5])
+                .tag(9)
+                .build()
+                .unwrap(),
+        );
+        let mut slave = SlavePort::new(SlaveMemory::new(0));
+        run_connected(&mut master, &mut slave, 1000).expect("drains");
+        let resp = master.take_response().expect("ack");
+        assert!(resp.data().is_empty());
+        assert_eq!(resp.tag(), 9);
+    }
+
+    #[test]
+    fn back_to_back_transactions_drain() {
+        let mut master = MasterPort::new();
+        for i in 0..10u64 {
+            master.enqueue(Request::write(i * 8, vec![i]).unwrap());
+            master.enqueue(Request::read(i * 8, 1).unwrap());
+        }
+        let mut slave = SlavePort::new(SlaveMemory::new(1));
+        run_connected(&mut master, &mut slave, 10_000).expect("drains");
+        let mut responses = 0;
+        while let Some(resp) = master.take_response() {
+            responses += 1;
+            assert_eq!(resp.resp(), SResp::Dva);
+        }
+        assert_eq!(responses, 10);
+        assert_eq!(master.outstanding(), 0);
+    }
+
+    #[test]
+    fn response_latency_respected() {
+        let mut master = MasterPort::new();
+        master.enqueue(Request::read(0x0, 1).unwrap());
+        let mut slave = SlavePort::new(SlaveMemory::new(10));
+        let cycles = run_connected(&mut master, &mut slave, 1000).expect("drains");
+        assert!(cycles >= 10, "latency must delay completion: {cycles}");
+    }
+
+    #[test]
+    fn idle_master_presents_nothing() {
+        let mut master = MasterPort::new();
+        assert!(master.request_phase().is_none());
+        assert!(master.is_idle());
+        master.request_accepted(); // harmless no-op
+        assert!(master.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_accept_interval_panics() {
+        let _ = SlavePort::new(SlaveMemory::new(0)).with_accept_every(0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # xpipes-sim — cycle-accurate simulation kernel
+//!
+//! This crate is the substrate on which the behavioural models of the
+//! xpipes Lite NoC library (crate `xpipes`) execute. The original library
+//! was written in SystemC; this kernel reproduces the subset of SystemC
+//! semantics the library relies on:
+//!
+//! * a global cycle counter ([`Cycle`]),
+//! * **two-phase clocked state**: every register computes its next value
+//!   from the *previous* cycle's outputs, then all registers commit
+//!   simultaneously ([`Register`], [`Clocked`]),
+//! * deterministic random sources ([`rng::SimRng`]),
+//! * statistics gathering ([`stats`]),
+//! * value-change-dump tracing ([`trace::VcdWriter`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use xpipes_sim::{Cycle, Register, Clocked};
+//!
+//! /// A free-running counter: a register fed by itself plus one.
+//! struct Counter { value: Register<u32> }
+//!
+//! impl Clocked for Counter {
+//!     fn posedge(&mut self, _now: Cycle) {
+//!         let next = self.value.get() + 1;
+//!         self.value.set(next);
+//!     }
+//!     fn commit(&mut self) { self.value.commit(); }
+//! }
+//!
+//! let mut c = Counter { value: Register::new(0) };
+//! let mut now = Cycle::ZERO;
+//! for _ in 0..5 {
+//!     c.posedge(now);
+//!     c.commit();
+//!     now = now.next();
+//! }
+//! assert_eq!(c.value.get(), 5);
+//! ```
+
+pub mod kernel;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use kernel::{Clocked, Register, Simulation};
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, RunningStats};
+pub use time::Cycle;

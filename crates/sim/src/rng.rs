@@ -1,0 +1,193 @@
+//! Deterministic randomness for reproducible simulations.
+//!
+//! Every stochastic element of the reproduction (traffic injection, link
+//! error injection, mapping annealers) draws from a [`SimRng`] seeded
+//! explicitly, so a run is a pure function of its configuration.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic random number generator for simulations.
+///
+/// Thin wrapper over ChaCha8 with convenience draws used throughout the
+/// workspace. Two `SimRng`s created with the same seed yield identical
+/// streams on every platform.
+///
+/// # Examples
+///
+/// ```
+/// use xpipes_sim::SimRng;
+///
+/// let mut a = SimRng::seed(42);
+/// let mut b = SimRng::seed(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: ChaCha8Rng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        SimRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; children with distinct
+    /// `stream` values never correlate, letting per-node RNGs be split off
+    /// one master seed.
+    #[must_use]
+    pub fn child(&self, stream: u64) -> Self {
+        let mut inner = self.inner.clone();
+        inner.set_stream(stream);
+        SimRng { inner }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Bernoulli trial: true with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below() requires a positive bound");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform draw in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn between(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "between() requires lo <= hi");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform floating-point draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Geometric inter-arrival sample for a Bernoulli process of rate `p`
+    /// per cycle: number of cycles until (and including) the next arrival.
+    /// Returns `u64::MAX` when `p <= 0`.
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        if p <= 0.0 {
+            return u64::MAX;
+        }
+        if p >= 1.0 {
+            return 1;
+        }
+        let u = self.unit().max(f64::MIN_POSITIVE);
+        (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed(7);
+        let mut b = SimRng::seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let mut a = SimRng::seed(1);
+        let mut b = SimRng::seed(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "seeds 1 and 2 should not track each other");
+    }
+
+    #[test]
+    fn children_are_independent() {
+        let master = SimRng::seed(99);
+        let mut c1 = master.child(1);
+        let mut c2 = master.child(2);
+        let same = (0..32).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed(0);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn chance_rate_roughly_matches() {
+        let mut rng = SimRng::seed(3);
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = SimRng::seed(5);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn below_zero_panics() {
+        SimRng::seed(0).below(0);
+    }
+
+    #[test]
+    fn between_inclusive() {
+        let mut rng = SimRng::seed(6);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = rng.between(2, 4);
+            assert!((2..=4).contains(&v));
+            seen_lo |= v == 2;
+            seen_hi |= v == 4;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn geometric_mean_close_to_inverse_rate() {
+        let mut rng = SimRng::seed(8);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| rng.geometric(0.25)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 4.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_edge_rates() {
+        let mut rng = SimRng::seed(9);
+        assert_eq!(rng.geometric(0.0), u64::MAX);
+        assert_eq!(rng.geometric(1.0), 1);
+    }
+}

@@ -1,0 +1,435 @@
+//! Measurement utilities: counters, running statistics and histograms.
+//!
+//! Every evaluation number reported by the benches (latency, throughput,
+//! retransmission counts) flows through these types, which keep exact
+//! integer counts and numerically stable running moments.
+
+use std::fmt;
+
+/// A saturating event counter.
+///
+/// # Examples
+///
+/// ```
+/// use xpipes_sim::Counter;
+///
+/// let mut flits = Counter::new("flits_sent");
+/// flits.add(3);
+/// flits.incr();
+/// assert_eq!(flits.value(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// The counter's name, used in reports.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current count.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.add(1);
+    }
+
+    /// Adds `n`, saturating at `u64::MAX`.
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.saturating_add(n);
+    }
+
+    /// Resets to zero (used when discarding warm-up cycles).
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.value)
+    }
+}
+
+/// Numerically stable running mean/variance/min/max (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use xpipes_sim::RunningStats;
+///
+/// let mut lat = RunningStats::new();
+/// for v in [10.0, 20.0, 30.0] { lat.record(v); }
+/// assert_eq!(lat.mean(), 20.0);
+/// assert_eq!(lat.max(), Some(30.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance; 0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples (e.g. latency in cycles).
+///
+/// Values at or above the upper bound land in the overflow bucket so no
+/// sample is ever lost.
+///
+/// # Examples
+///
+/// ```
+/// use xpipes_sim::Histogram;
+///
+/// let mut h = Histogram::new(0, 100, 10);
+/// h.record(5);
+/// h.record(95);
+/// h.record(1_000); // overflow
+/// assert_eq!(h.total(), 3);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    lo: u64,
+    hi: u64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo` or `buckets == 0`.
+    pub fn new(lo: u64, hi: u64, buckets: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.total += 1;
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo)
+                .div_ceil(self.buckets.len() as u64)
+                .max(1);
+            let idx = ((value - self.lo) / width) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Total samples recorded, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples below the lower bound.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Per-bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Merges another histogram with identical bounds and bucket count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configurations differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.buckets.len() == other.buckets.len(),
+            "histogram configurations must match to merge"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
+    /// Approximate p-th percentile (0–100) assuming uniform density within
+    /// a bucket; `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (p.clamp(0.0, 100.0) / 100.0 * self.total as f64).ceil() as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return Some(self.lo);
+        }
+        let width = (self.hi - self.lo)
+            .div_ceil(self.buckets.len() as u64)
+            .max(1);
+        for (i, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Some(self.lo + (i as u64 + 1) * width - 1);
+            }
+        }
+        Some(self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new("x");
+        assert_eq!(c.value(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        c.reset();
+        assert_eq!(c.value(), 0);
+        assert_eq!(c.name(), "x");
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::new("sat");
+        c.add(u64::MAX);
+        c.add(5);
+        assert_eq!(c.value(), u64::MAX);
+    }
+
+    #[test]
+    fn counter_display() {
+        let mut c = Counter::new("flits");
+        c.add(2);
+        assert_eq!(c.to_string(), "flits: 2");
+    }
+
+    #[test]
+    fn stats_mean_and_variance() {
+        let mut s = RunningStats::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(v);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn stats_empty_is_zero() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn stats_merge_matches_sequential() {
+        let values = [1.0, 2.5, -3.0, 8.0, 0.25, 4.0, 4.0];
+        let mut all = RunningStats::new();
+        for v in values {
+            all.record(v);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for v in &values[..3] {
+            a.record(*v);
+        }
+        for v in &values[3..] {
+            b.record(*v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn stats_merge_with_empty() {
+        let mut a = RunningStats::new();
+        a.record(5.0);
+        let before = a.clone();
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = RunningStats::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+    }
+
+    #[test]
+    fn histogram_buckets_and_bounds() {
+        let mut h = Histogram::new(10, 50, 4); // widths of 10
+        h.record(9); // underflow
+        h.record(10);
+        h.record(19);
+        h.record(20);
+        h.record(49);
+        h.record(50); // overflow
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.buckets(), &[2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn histogram_percentile() {
+        let mut h = Histogram::new(0, 100, 100);
+        for v in 0..100 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0).unwrap();
+        assert!((45..=55).contains(&p50), "p50 = {p50}");
+        let p99 = h.percentile(99.0).unwrap();
+        assert!(p99 >= 95, "p99 = {p99}");
+        assert_eq!(Histogram::new(0, 10, 2).percentile(50.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn histogram_empty_range_panics() {
+        Histogram::new(5, 5, 1);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new(0, 100, 10);
+        let mut b = Histogram::new(0, 100, 10);
+        a.record(5);
+        a.record(200);
+        b.record(5);
+        b.record(95);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.buckets()[0], 2);
+        assert_eq!(a.buckets()[9], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "configurations must match")]
+    fn histogram_merge_rejects_mismatch() {
+        let mut a = Histogram::new(0, 100, 10);
+        let b = Histogram::new(0, 50, 10);
+        a.merge(&b);
+    }
+}

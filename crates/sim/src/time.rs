@@ -1,0 +1,146 @@
+//! Simulation time: the [`Cycle`] newtype.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A clock-cycle timestamp.
+///
+/// Cycle counts are the only notion of time in the kernel; physical time is
+/// derived downstream by the synthesis model (cycle period = 1/fmax).
+///
+/// # Examples
+///
+/// ```
+/// use xpipes_sim::Cycle;
+///
+/// let t = Cycle::ZERO.next() + 3;
+/// assert_eq!(t.as_u64(), 4);
+/// assert_eq!(t - Cycle::new(1), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Time zero, the first simulated cycle.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle timestamp from a raw count.
+    pub const fn new(count: u64) -> Self {
+        Cycle(count)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The immediately following cycle.
+    #[must_use]
+    pub const fn next(self) -> Self {
+        Cycle(self.0 + 1)
+    }
+
+    /// Saturating distance in cycles from `earlier` to `self`.
+    ///
+    /// Returns 0 when `earlier` is later than `self` rather than wrapping,
+    /// so latency accounting can never underflow.
+    #[must_use]
+    pub const fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    /// Cycle difference; panics in debug builds on underflow.
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(count: u64) -> Self {
+        Cycle(count)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(cycle: Cycle) -> Self {
+        cycle.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(Cycle::default(), Cycle::ZERO);
+        assert_eq!(Cycle::ZERO.as_u64(), 0);
+    }
+
+    #[test]
+    fn next_increments() {
+        assert_eq!(Cycle::ZERO.next(), Cycle::new(1));
+        assert_eq!(Cycle::new(41).next().as_u64(), 42);
+    }
+
+    #[test]
+    fn add_and_sub() {
+        let t = Cycle::new(10) + 5;
+        assert_eq!(t, Cycle::new(15));
+        assert_eq!(t - Cycle::new(10), 5);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut t = Cycle::ZERO;
+        t += 7;
+        t += 3;
+        assert_eq!(t.as_u64(), 10);
+    }
+
+    #[test]
+    fn since_saturates() {
+        assert_eq!(Cycle::new(5).since(Cycle::new(2)), 3);
+        assert_eq!(Cycle::new(2).since(Cycle::new(5)), 0);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t: Cycle = 99u64.into();
+        let raw: u64 = t.into();
+        assert_eq!(raw, 99);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Cycle::new(17).to_string(), "@17");
+    }
+
+    #[test]
+    fn ordering_follows_count() {
+        assert!(Cycle::new(1) < Cycle::new(2));
+        assert!(Cycle::new(2) <= Cycle::new(2));
+    }
+}

@@ -1,0 +1,248 @@
+//! Minimal value-change-dump (VCD) tracing.
+//!
+//! The original xpipes flow relied on SystemC waveform dumps for debugging
+//! generated NoCs; [`VcdWriter`] provides the same capability for the Rust
+//! behavioural models. Output is standard VCD, loadable in GTKWave.
+
+use std::fmt::Write as _;
+use std::io;
+
+use crate::time::Cycle;
+
+/// Handle to a signal declared in a [`VcdWriter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignalId(usize);
+
+#[derive(Debug, Clone)]
+struct Signal {
+    code: String,
+    width: u32,
+    last: Option<u64>,
+}
+
+/// An in-memory VCD builder.
+///
+/// Declare signals up front, then record value changes per cycle; the
+/// writer deduplicates unchanged values. Call [`finish`](VcdWriter::finish)
+/// to obtain the VCD text, or [`write_to`](VcdWriter::write_to) to stream it.
+///
+/// # Examples
+///
+/// ```
+/// use xpipes_sim::trace::VcdWriter;
+/// use xpipes_sim::Cycle;
+///
+/// let mut vcd = VcdWriter::new("noc");
+/// let valid = vcd.declare("flit_valid", 1);
+/// let data = vcd.declare("flit_data", 32);
+/// vcd.change(Cycle::ZERO, valid, 1);
+/// vcd.change(Cycle::ZERO, data, 0xDEAD);
+/// vcd.change(Cycle::new(1), valid, 0);
+/// let text = vcd.finish();
+/// assert!(text.contains("$var wire 32"));
+/// assert!(text.contains("#0"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct VcdWriter {
+    module: String,
+    signals: Vec<Signal>,
+    names: Vec<String>,
+    body: String,
+    current_time: Option<u64>,
+}
+
+impl VcdWriter {
+    /// Creates a writer for a single module scope named `module`.
+    pub fn new(module: impl Into<String>) -> Self {
+        VcdWriter {
+            module: module.into(),
+            signals: Vec::new(),
+            names: Vec::new(),
+            body: String::new(),
+            current_time: None,
+        }
+    }
+
+    /// Declares a `width`-bit wire and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn declare(&mut self, name: impl Into<String>, width: u32) -> SignalId {
+        assert!((1..=64).contains(&width), "signal width must be 1..=64");
+        let idx = self.signals.len();
+        self.signals.push(Signal {
+            code: Self::code_for(idx),
+            width,
+            last: None,
+        });
+        self.names.push(name.into());
+        SignalId(idx)
+    }
+
+    /// Number of declared signals.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Records `value` on `signal` at time `now`; suppressed if unchanged.
+    ///
+    /// Times must be non-decreasing across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes an already-recorded time.
+    pub fn change(&mut self, now: Cycle, signal: SignalId, value: u64) {
+        let t = now.as_u64();
+        if let Some(cur) = self.current_time {
+            assert!(t >= cur, "VCD times must be monotone: got {t} after {cur}");
+        }
+        let sig = &mut self.signals[signal.0];
+        if sig.last == Some(value) {
+            return;
+        }
+        sig.last = Some(value);
+        if self.current_time != Some(t) {
+            self.current_time = Some(t);
+            let _ = writeln!(self.body, "#{t}");
+        }
+        let code = sig.code.clone();
+        if sig.width == 1 {
+            let _ = writeln!(self.body, "{}{}", value & 1, code);
+        } else {
+            let width = sig.width;
+            let _ = writeln!(
+                self.body,
+                "b{:0width$b} {}",
+                value,
+                code,
+                width = width as usize
+            );
+        }
+    }
+
+    /// Renders the complete VCD document.
+    pub fn finish(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "$date xpipes-sim $end");
+        let _ = writeln!(out, "$version xpipes-sim vcd 0.1 $end");
+        let _ = writeln!(out, "$timescale 1 ns $end");
+        let _ = writeln!(out, "$scope module {} $end", self.module);
+        for (sig, name) in self.signals.iter().zip(&self.names) {
+            let _ = writeln!(out, "$var wire {} {} {} $end", sig.width, sig.code, name);
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        out.push_str(&self.body);
+        out
+    }
+
+    /// Streams the document to `writer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from `writer`.
+    pub fn write_to<W: io::Write>(&self, mut writer: W) -> io::Result<()> {
+        writer.write_all(self.finish().as_bytes())
+    }
+
+    /// Short identifier codes per VCD convention: `!`, `"`, ... then pairs.
+    fn code_for(mut idx: usize) -> String {
+        const FIRST: u8 = b'!';
+        const COUNT: usize = 94; // printable ASCII minus space
+        let mut code = String::new();
+        loop {
+            code.push((FIRST + (idx % COUNT) as u8) as char);
+            idx /= COUNT;
+            if idx == 0 {
+                break;
+            }
+            idx -= 1;
+        }
+        code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_contains_declarations() {
+        let mut vcd = VcdWriter::new("top");
+        vcd.declare("a", 1);
+        vcd.declare("bus", 8);
+        let text = vcd.finish();
+        assert!(text.contains("$scope module top $end"));
+        assert!(text.contains("$var wire 1 ! a $end"));
+        assert!(text.contains("$var wire 8 \" bus $end"));
+        assert_eq!(vcd.signal_count(), 2);
+    }
+
+    #[test]
+    fn scalar_and_vector_changes() {
+        let mut vcd = VcdWriter::new("m");
+        let a = vcd.declare("a", 1);
+        let b = vcd.declare("b", 4);
+        vcd.change(Cycle::ZERO, a, 1);
+        vcd.change(Cycle::ZERO, b, 0b1010);
+        let text = vcd.finish();
+        assert!(text.contains("#0\n1!\nb1010 \""), "body was:\n{text}");
+    }
+
+    #[test]
+    fn unchanged_values_suppressed() {
+        let mut vcd = VcdWriter::new("m");
+        let a = vcd.declare("a", 1);
+        vcd.change(Cycle::ZERO, a, 1);
+        vcd.change(Cycle::new(1), a, 1); // no-op
+        vcd.change(Cycle::new(2), a, 0);
+        let text = vcd.finish();
+        assert!(
+            !text.contains("#1\n"),
+            "suppressed change emitted a timestamp"
+        );
+        assert!(text.contains("#2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn time_going_backwards_panics() {
+        let mut vcd = VcdWriter::new("m");
+        let a = vcd.declare("a", 1);
+        vcd.change(Cycle::new(5), a, 1);
+        vcd.change(Cycle::new(4), a, 0);
+    }
+
+    #[test]
+    fn codes_are_unique_for_many_signals() {
+        let mut vcd = VcdWriter::new("m");
+        let mut codes = std::collections::HashSet::new();
+        for i in 0..300 {
+            vcd.declare(format!("s{i}"), 1);
+        }
+        for sig in &vcd.signals {
+            assert!(
+                codes.insert(sig.code.clone()),
+                "duplicate code {}",
+                sig.code
+            );
+        }
+    }
+
+    #[test]
+    fn write_to_streams_same_bytes() {
+        let mut vcd = VcdWriter::new("m");
+        let a = vcd.declare("a", 2);
+        vcd.change(Cycle::ZERO, a, 3);
+        let mut buf = Vec::new();
+        vcd.write_to(&mut buf).expect("write to Vec cannot fail");
+        assert_eq!(buf, vcd.finish().into_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        VcdWriter::new("m").declare("bad", 0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Candidate evaluation: synthesis estimation + simulated performance.
+//!
+//! For a candidate specification this runs the area/power library on
+//! every component (one synthesis per distinct switch radix plus the two
+//! NIs), consults the floorplanner for wire derating, and replays the
+//! application traffic on the cycle-accurate simulator — producing the
+//! numbers the SunMap selection stage compares (and that experiment E7
+//! reports).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use xpipes::config::{NiConfig, SwitchConfig};
+use xpipes::noc::Noc;
+use xpipes::XpipesError;
+use xpipes_synth::components::{initiator_ni_netlist, switch_netlist, target_ni_netlist};
+use xpipes_synth::report::{synthesize, synthesize_max_speed, SynthError};
+use xpipes_topology::spec::NocSpec;
+use xpipes_topology::{NiKind, TaskGraph};
+use xpipes_traffic::appdriven::AppTraffic;
+
+use crate::codesign;
+use crate::floorplan::floorplan;
+
+/// Evaluation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalConfig {
+    /// Clock target for component synthesis, in MHz.
+    pub target_mhz: f64,
+    /// Injection-rate scale: packets/cycle per MB/s of flow bandwidth.
+    pub rate_per_mbps: f64,
+    /// Write burst length for application traffic.
+    pub burst: u32,
+    /// Warm-up cycles before measuring.
+    pub warmup: u64,
+    /// Measured cycles.
+    pub window: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            target_mhz: 1000.0,
+            rate_per_mbps: 2.0e-5,
+            burst: 4,
+            warmup: 1_000,
+            window: 8_000,
+            seed: 0xD5EC7,
+        }
+    }
+}
+
+/// Evaluation results for one candidate topology.
+#[derive(Debug, Clone)]
+pub struct CandidateReport {
+    /// Candidate name.
+    pub name: String,
+    /// Total component area in mm².
+    pub area_mm2: f64,
+    /// Operating frequency in MHz: the slowest component's fmax, derated
+    /// by the floorplan wire limit and capped at the synthesis target.
+    pub fmax_mhz: f64,
+    /// Total power at the operating frequency, in mW (the library's
+    /// static estimate at its assumed activities).
+    pub power_mw: f64,
+    /// Simulation-driven power in mW: dynamic power rescaled by the
+    /// activity actually observed in the traffic replay (leakage and
+    /// clock tree unchanged). Always ≤ `power_mw` for workloads lighter
+    /// than the library's activity assumption.
+    pub active_power_mw: f64,
+    /// Mean transaction latency in cycles (application traffic).
+    pub avg_latency_cycles: f64,
+    /// Mean transaction latency in nanoseconds (cycles / fmax).
+    pub avg_latency_ns: f64,
+    /// Accepted application throughput in packets per cycle.
+    pub accepted_packets_per_cycle: f64,
+    /// Accepted throughput normalised by clock, packets per microsecond.
+    pub accepted_packets_per_us: f64,
+    /// Link-load imbalance (max/mean) from routing analysis.
+    pub load_imbalance: f64,
+    /// Number of switches.
+    pub switches: usize,
+    /// Number of NIs.
+    pub nis: usize,
+}
+
+impl fmt::Display for CandidateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.3} mm², {:.0} MHz, {:.1} mW, {:.1} cyc ({:.1} ns) latency, {:.3} pkt/us",
+            self.name,
+            self.area_mm2,
+            self.fmax_mhz,
+            self.power_mw,
+            self.avg_latency_cycles,
+            self.avg_latency_ns,
+            self.accepted_packets_per_us
+        )
+    }
+}
+
+/// Errors from candidate evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// Synthesis failed for a component.
+    Synth(SynthError),
+    /// Simulation or specification failure.
+    Xpipes(XpipesError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Synth(e) => write!(f, "synthesis: {e}"),
+            EvalError::Xpipes(e) => write!(f, "network: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<SynthError> for EvalError {
+    fn from(e: SynthError) -> Self {
+        EvalError::Synth(e)
+    }
+}
+
+impl From<XpipesError> for EvalError {
+    fn from(e: XpipesError) -> Self {
+        EvalError::Xpipes(e)
+    }
+}
+
+/// Synthesizes a component at the target clock, falling back to its
+/// maximum achievable speed when the target is out of reach.
+fn synth_or_best(
+    netlist: &xpipes_synth::Netlist,
+    target_mhz: f64,
+) -> Result<xpipes_synth::SynthReport, SynthError> {
+    match synthesize(netlist, target_mhz) {
+        Ok(r) => Ok(r),
+        Err(SynthError::TargetUnreachable { .. }) => synthesize_max_speed(netlist),
+        Err(e) => Err(e),
+    }
+}
+
+/// Evaluates one candidate specification against its application.
+///
+/// # Errors
+///
+/// Propagates synthesis and simulation failures; a candidate whose
+/// specification does not validate is an error, not a silent skip.
+pub fn evaluate(
+    name: &str,
+    spec: &NocSpec,
+    graph: &TaskGraph,
+    config: &EvalConfig,
+) -> Result<CandidateReport, EvalError> {
+    spec.validate().map_err(XpipesError::from)?;
+
+    // --- Synthesis side: one run per distinct (radix, queue depth)
+    // switch configuration + both NIs.
+    let mut switch_cache: HashMap<(usize, u32), xpipes_synth::SynthReport> = HashMap::new();
+    let mut area = 0.0;
+    let mut power = 0.0;
+    let mut dynamic_power = 0.0;
+    let mut fmax: f64 = f64::INFINITY;
+    for s in spec.topology.switches() {
+        let radix = spec.topology.switch_degree(s).max(2);
+        let depth = spec.queue_depth_of(s);
+        if let std::collections::hash_map::Entry::Vacant(e) = switch_cache.entry((radix, depth)) {
+            let mut cfg = SwitchConfig::new(radix, radix, spec.flit_width);
+            cfg.output_queue_depth = depth as usize;
+            let report = synth_or_best(&switch_netlist(&cfg), config.target_mhz)?;
+            e.insert(report);
+        }
+        let r = &switch_cache[&(radix, depth)];
+        area += r.area_mm2;
+        power += r.power_mw;
+        dynamic_power += r.dynamic_mw;
+        fmax = fmax.min(r.fmax_mhz);
+    }
+    let ni_cfg = NiConfig::new(spec.flit_width);
+    let ini_report = synth_or_best(&initiator_ni_netlist(&ni_cfg), config.target_mhz)?;
+    let tgt_report = synth_or_best(&target_ni_netlist(&ni_cfg), config.target_mhz)?;
+    for ni in spec.topology.nis() {
+        let r = match ni.kind {
+            NiKind::Initiator => &ini_report,
+            NiKind::Target => &tgt_report,
+        };
+        area += r.area_mm2;
+        power += r.power_mw;
+        dynamic_power += r.dynamic_mw;
+        fmax = fmax.min(r.fmax_mhz);
+    }
+
+    // --- Floorplan derating (with greedy placement improvement, which
+    // matters for custom topologies whose raster start is poor).
+    let plan = crate::floorplan::optimize(spec, &floorplan(spec));
+    let stages = spec
+        .topology
+        .links()
+        .iter()
+        .map(|l| l.pipeline_stages)
+        .max()
+        .unwrap_or(1);
+    let operating_mhz = plan.derate(fmax, stages).min(config.target_mhz);
+
+    // --- Performance side: replay the application traffic.
+    let mut noc = Noc::with_seed(spec, config.seed)?;
+    let mut app = AppTraffic::new(spec, graph, config.rate_per_mbps, config.burst, config.seed)?;
+    app.run(&mut noc, config.warmup);
+    let before = noc.stats();
+    app.run(&mut noc, config.window);
+    let after = noc.stats();
+    let delivered = after.packets_delivered - before.packets_delivered;
+    let latency_cycles = after.transaction_latency.mean().max(
+        // Pure-write workloads have no round trips; fall back to the
+        // one-way request latency.
+        after.request_latency.mean(),
+    );
+
+    // --- Simulation-driven power: rescale the dynamic share by observed
+    // flit activity. The library's power assumes roughly one flit moving
+    // per port-pair per cycle at its annotated activities; utilization is
+    // measured as crossbar traversals per switch-cycle.
+    let total_switch_cycles: f64 = spec.topology.switch_count() as f64 * config.window as f64;
+    let flits_in_window = (after.flits_routed - before.flits_routed) as f64;
+    let utilization = (flits_in_window / total_switch_cycles.max(1.0)).clamp(0.0, 1.0);
+    let static_power = power - dynamic_power;
+    let active_power_mw = static_power + dynamic_power * utilization;
+
+    // --- Routing balance.
+    let imbalance = codesign::load_report(&codesign::link_loads(spec, graph)?).imbalance;
+
+    let accepted_per_cycle = delivered as f64 / config.window as f64;
+    Ok(CandidateReport {
+        name: name.to_string(),
+        area_mm2: area,
+        fmax_mhz: operating_mhz,
+        power_mw: power,
+        active_power_mw,
+        avg_latency_cycles: latency_cycles,
+        avg_latency_ns: latency_cycles / operating_mhz * 1000.0,
+        accepted_packets_per_cycle: accepted_per_cycle,
+        accepted_packets_per_us: accepted_per_cycle * operating_mhz,
+        load_imbalance: imbalance,
+        switches: spec.topology.switch_count(),
+        nis: spec.topology.nis().len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps;
+    use crate::mapping::{build_spec, map_to_mesh};
+
+    fn quick_config() -> EvalConfig {
+        EvalConfig {
+            warmup: 200,
+            window: 1500,
+            ..EvalConfig::default()
+        }
+    }
+
+    #[test]
+    fn evaluates_vopd_on_mesh() {
+        let g = apps::vopd();
+        let m = map_to_mesh(&g, 3, 4, 1, 3).unwrap();
+        let spec = build_spec(&g, &m, 32).unwrap();
+        let r = evaluate("vopd-3x4", &spec, &g, &quick_config()).unwrap();
+        assert!(r.area_mm2 > 0.5, "{}", r.area_mm2);
+        assert!(r.fmax_mhz > 500.0 && r.fmax_mhz <= 1000.0, "{}", r.fmax_mhz);
+        assert!(r.power_mw > 10.0);
+        assert!(r.avg_latency_cycles > 0.0);
+        assert!(r.avg_latency_ns > 0.0);
+        assert!(r.switches == 12 && r.nis == 24);
+        assert!(r.load_imbalance >= 1.0);
+        assert!(r.to_string().contains("mm²"));
+    }
+
+    #[test]
+    fn active_power_tracks_load() {
+        let g = apps::vopd();
+        let m = map_to_mesh(&g, 3, 4, 1, 3).unwrap();
+        let spec = build_spec(&g, &m, 32).unwrap();
+        let mut light = quick_config();
+        light.rate_per_mbps = 5.0e-6;
+        let mut heavy = quick_config();
+        heavy.rate_per_mbps = 8.0e-5;
+        let r_light = evaluate("light", &spec, &g, &light).unwrap();
+        let r_heavy = evaluate("heavy", &spec, &g, &heavy).unwrap();
+        // Static estimate is workload independent; active power is not.
+        assert_eq!(r_light.power_mw, r_heavy.power_mw);
+        assert!(r_light.active_power_mw < r_heavy.active_power_mw);
+        assert!(r_light.active_power_mw <= r_light.power_mw);
+        assert!(r_light.active_power_mw > 0.0);
+    }
+
+    #[test]
+    fn larger_flit_width_costs_area() {
+        let g = apps::mwd();
+        let m = map_to_mesh(&g, 3, 4, 1, 3).unwrap();
+        let s32 = build_spec(&g, &m, 32).unwrap();
+        let s64 = build_spec(&g, &m, 64).unwrap();
+        let cfg = quick_config();
+        let r32 = evaluate("w32", &s32, &g, &cfg).unwrap();
+        let r64 = evaluate("w64", &s64, &g, &cfg).unwrap();
+        assert!(r64.area_mm2 > r32.area_mm2 * 1.3);
+    }
+
+    #[test]
+    fn invalid_spec_is_error() {
+        let g = apps::mwd();
+        let m = map_to_mesh(&g, 3, 4, 1, 3).unwrap();
+        let mut spec = build_spec(&g, &m, 32).unwrap();
+        spec.flit_width = 1; // invalid
+        assert!(evaluate("bad", &spec, &g, &quick_config()).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # xpipes-sunmap — the SunMap design flow
+//!
+//! The paper's NoC synthesis flow: an application task graph is **mapped
+//! onto candidate topologies** using area/power libraries and a
+//! floorplanner, the best **topology is selected**, and the **routing
+//! function is co-designed** — then the xpipesCompiler instantiates the
+//! winner. This crate reproduces that flow on top of the other workspace
+//! crates:
+//!
+//! * [`apps`] — benchmark task graphs (MPEG-4 decoder, VOPD, MWD, and the
+//!   D26 media SoC with 8 processors + 11 slaves from the mesh case
+//!   study),
+//! * [`mapping`] — greedy + simulated-annealing placement of cores onto
+//!   mesh slots, and specification construction from a mapping,
+//! * [`floorplan`] — grid placement, link-length estimation and
+//!   wire-delay frequency derating,
+//! * [`eval`] — candidate evaluation: synthesis reports for every
+//!   component (area/fmax/power) plus cycle-accurate application traffic
+//!   simulation (latency/throughput),
+//! * [`selection`] — candidate generation (mesh/torus variants + a custom
+//!   application-specific topology) and scored selection,
+//! * [`codesign`] — routing-function analysis: per-link bandwidth loads
+//!   and balance metrics,
+//! * [`pareto`] — Pareto-front utilities over candidate reports.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use xpipes_sunmap::{apps, selection};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let app = apps::mpeg4_decoder();
+//! let outcome = selection::select(&app, &selection::SelectionConfig::default())?;
+//! println!("winner: {}", outcome.winner().name);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod apps;
+pub mod codesign;
+pub mod eval;
+pub mod floorplan;
+pub mod mapping;
+pub mod pareto;
+pub mod selection;
+
+pub use eval::CandidateReport;
+pub use mapping::{build_spec, map_to_mesh, MeshMapping};

@@ -1,0 +1,44 @@
+use xpipes::config::{NiConfig, SwitchConfig};
+use xpipes_synth::components::*;
+use xpipes_synth::report::{synthesize, synthesize_max_speed};
+
+fn main() {
+    for w in [16u32, 32, 64, 128] {
+        let ini = synthesize(&initiator_ni_netlist(&NiConfig::new(w)), 1000.0);
+        let tgt = synthesize(&target_ni_netlist(&NiConfig::new(w)), 1000.0);
+        match (ini, tgt) {
+            (Ok(i), Ok(t)) => println!(
+                "NI w={w}: ini {:.4} mm² {:.2} mW | tgt {:.4} mm² {:.2} mW",
+                i.area_mm2, i.power_mw, t.area_mm2, t.power_mw
+            ),
+            (i, t) => println!(
+                "NI w={w}: {:?} {:?}",
+                i.err().map(|e| e.to_string()),
+                t.err().map(|e| e.to_string())
+            ),
+        }
+    }
+    for (n, m) in [(4usize, 4usize), (6, 4), (5, 5)] {
+        for w in [16u32, 32, 64, 128] {
+            let net = switch_netlist(&SwitchConfig::new(n, m, w));
+            let max = synthesize_max_speed(&net).unwrap();
+            let at1g = synthesize(&net, 1000.0);
+            let a1 = at1g
+                .as_ref()
+                .map(|r| format!("{:.4} mm² {:.1} mW", r.area_mm2, r.power_mw))
+                .unwrap_or_else(|e| e.to_string());
+            println!(
+                "SW {n}x{m} w={w}: fmax {:.0} MHz minarea-ish {:.4} mm² | @1GHz: {a1}",
+                max.fmax_mhz, max.area_mm2
+            );
+        }
+    }
+    // 5x5 32-bit banana curve
+    let net = switch_netlist(&SwitchConfig::new(5, 5, 32));
+    for f in [200.0, 400.0, 600.0, 800.0, 1000.0, 1200.0, 1400.0] {
+        match synthesize(&net, f) {
+            Ok(r) => println!("5x5 @ {f} MHz: {:.4} mm²", r.area_mm2),
+            Err(e) => println!("5x5 @ {f} MHz: {e}"),
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # xpipes-synth — synthesis estimation for the xpipes Lite library
+//!
+//! The original xpipes Lite paper reports **synthesis results**: area,
+//! power and operating frequency of NIs and switches on a 130 nm standard
+//! cell process. A Rust reproduction has no foundry flow, so this crate
+//! substitutes the pipeline with the same *mechanism* scaled down:
+//!
+//! 1. [`components`] — parameterized **netlist generators** construct a
+//!    gate-level structural netlist for every library component (switch,
+//!    initiator NI, target NI, link pipeline stage) from the same configs
+//!    the behavioural models use. Buffer arrays really are DFF arrays,
+//!    crossbars really are mux trees, arbiters really are priority chains,
+//!    so area/timing *scaling* with flit width and port count emerges from
+//!    structure, not curve fitting.
+//! 2. [`cells`] — a calibrated 130 nm-class standard-cell model (area,
+//!    load-dependent delay, switching energy, leakage) with discrete
+//!    drive-strength sizing.
+//! 3. [`sta`] — static timing analysis over the netlist DAG; reports the
+//!    minimum clock period and the critical path.
+//! 4. [`sizing`] — timing-driven gate sizing: upsize critical-path cells
+//!    until a target period is met, trading area for frequency exactly as
+//!    a synthesis tool's effort knob does (this reproduces the paper's
+//!    area-vs-frequency "banana" curve for the 5x5 switch).
+//! 5. [`area`] / [`power`] — area accounting with routing overhead, and
+//!    activity-based dynamic + leakage power at a given clock.
+//! 6. [`report`] — one-call [`report::synthesize`] producing a
+//!    [`report::SynthReport`] (area mm², fmax MHz, power mW, per-block
+//!    breakdown), the unit in which every paper figure is reproduced.
+//!
+//! # Examples
+//!
+//! ```
+//! use xpipes::SwitchConfig;
+//! use xpipes_synth::components::switch_netlist;
+//! use xpipes_synth::report::synthesize;
+//!
+//! # fn main() -> Result<(), xpipes_synth::SynthError> {
+//! // The paper's headline component: a 4x4, 32-bit switch at 1 GHz.
+//! let netlist = switch_netlist(&SwitchConfig::new(4, 4, 32));
+//! let report = synthesize(&netlist, 1000.0)?; // target MHz
+//! assert!(report.area_mm2 > 0.01 && report.area_mm2 < 1.0);
+//! assert!(report.fmax_mhz >= 1000.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod area;
+pub mod cells;
+pub mod components;
+pub mod netlist;
+pub mod power;
+pub mod report;
+pub mod sizing;
+pub mod sta;
+
+pub use cells::CellKind;
+pub use netlist::{GateId, NetId, Netlist, NetlistBuilder};
+pub use report::{synthesize, SynthError, SynthReport};

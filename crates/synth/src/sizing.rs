@@ -1,0 +1,287 @@
+//! Timing-driven gate sizing: the synthesis "effort" knob.
+//!
+//! [`fit_to_period`] runs slack analysis and upsizes **every cell on a
+//! violating path** (negative slack against the target period), repeating
+//! until the target is met or all violating cells saturate at maximum
+//! drive. Tight targets therefore swell whole timing cones, trading area
+//! for frequency exactly as a synthesis tool's effort knob does — this
+//! reproduces the paper's area-vs-frequency "banana" curve for the 32-bit
+//! 5x5 switch.
+
+use std::collections::HashMap;
+
+use crate::cells::{self, MAX_SIZE};
+use crate::netlist::{NetId, Netlist};
+use crate::sta::{analyze_detailed, TimingError, TimingReport};
+
+/// Outcome of a sizing run.
+#[derive(Debug, Clone)]
+pub struct SizingResult {
+    /// Final timing after sizing.
+    pub timing: TimingReport,
+    /// Sizing iterations performed.
+    pub iterations: usize,
+    /// True when the target period was met.
+    pub met: bool,
+}
+
+/// Errors from sizing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SizingError {
+    /// Timing analysis failed.
+    Timing(TimingError),
+    /// Target unreachable; carries the best achievable period in ps.
+    Unachievable { best_ps: f64 },
+}
+
+impl std::fmt::Display for SizingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SizingError::Timing(e) => write!(f, "timing analysis failed: {e}"),
+            SizingError::Unachievable { best_ps } => {
+                write!(f, "target period unachievable; best is {best_ps:.0} ps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SizingError {}
+
+impl From<TimingError> for SizingError {
+    fn from(e: TimingError) -> Self {
+        SizingError::Timing(e)
+    }
+}
+
+/// Upsize cells on violating paths until `target_ps` is met.
+///
+/// Mutates the netlist's drive sizes in place. On failure the netlist is
+/// left at maximum-effort sizing.
+///
+/// # Errors
+///
+/// * [`SizingError::Timing`] on analysis failures.
+/// * [`SizingError::Unachievable`] when even maximum sizing misses the
+///   target; the error carries the best achievable period.
+pub fn fit_to_period(netlist: &mut Netlist, target_ps: f64) -> Result<SizingResult, SizingError> {
+    // Each round can raise every violating gate one size step, so
+    // MAX_SIZE rounds saturate; a few extra rounds absorb load shifts.
+    let max_iters = MAX_SIZE as usize + 8;
+    for iteration in 0..max_iters {
+        let detail = analyze_detailed(netlist)?;
+        if detail.report.min_period_ps <= target_ps {
+            return Ok(SizingResult {
+                timing: detail.report,
+                iterations: iteration,
+                met: true,
+            });
+        }
+
+        // Backward required-time pass against the target period.
+        let fanout = netlist.fanout();
+        let mut required: HashMap<NetId, f64> = HashMap::new();
+        let tighten = |req: &mut HashMap<NetId, f64>, net: NetId, t: f64| {
+            let e = req.entry(net).or_insert(f64::INFINITY);
+            if t < *e {
+                *e = t;
+            }
+        };
+        for g in netlist.gates() {
+            if g.cell.is_sequential() {
+                tighten(&mut required, g.inputs[0], target_ps - g.cell.setup_ps());
+            }
+        }
+        for net in detail.arrival.keys() {
+            if !fanout.contains_key(net) {
+                tighten(&mut required, *net, target_ps);
+            }
+        }
+        for &gi in detail.topo_order.iter().rev() {
+            let g = &netlist.gates()[gi];
+            let load = fanout.get(&g.output).copied().unwrap_or(0);
+            let req_out = required.get(&g.output).copied().unwrap_or(target_ps);
+            let d = cells::delay_ps(g.cell, g.size, load);
+            for &input in &g.inputs {
+                tighten(&mut required, input, req_out - d);
+            }
+        }
+
+        // Upsize every gate whose output violates its required time,
+        // including a guard band: cells within a few percent of violation
+        // are sized too, as a synthesis tool's margining would.
+        let margin = target_ps * 0.08;
+        let mut progressed = false;
+        let mut any_violation_upsized = false;
+        for gi in 0..netlist.gate_count() {
+            let g = &netlist.gates()[gi];
+            let out = g.output;
+            let arr = detail.arrival.get(&out).copied().unwrap_or(0.0);
+            let req = required.get(&out).copied().unwrap_or(target_ps);
+            if arr + margin > req && g.size < MAX_SIZE {
+                let size = g.size + 1;
+                netlist.set_size(crate::netlist::GateId(gi as u32), size);
+                progressed = true;
+                if arr > req {
+                    any_violation_upsized = true;
+                }
+            }
+        }
+        if !progressed || !any_violation_upsized {
+            return Err(SizingError::Unachievable {
+                best_ps: detail.report.min_period_ps,
+            });
+        }
+    }
+    let timing = analyze_detailed(netlist)?.report;
+    if timing.min_period_ps <= target_ps {
+        Ok(SizingResult {
+            timing,
+            iterations: max_iters,
+            met: true,
+        })
+    } else {
+        Err(SizingError::Unachievable {
+            best_ps: timing.min_period_ps,
+        })
+    }
+}
+
+/// The fastest period achievable at maximum effort, in ps.
+///
+/// # Errors
+///
+/// Propagates timing-analysis failures.
+pub fn best_period_ps(netlist: &mut Netlist) -> Result<f64, SizingError> {
+    match fit_to_period(netlist, 0.0) {
+        Ok(r) => Ok(r.timing.min_period_ps),
+        Err(SizingError::Unachievable { best_ps }) => Ok(best_ps),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::area::cell_area_um2;
+    use crate::cells::CellKind;
+    use crate::netlist::NetlistBuilder;
+    use crate::sta::analyze;
+
+    fn wide_chain() -> Netlist {
+        let mut b = NetlistBuilder::new("chain");
+        let g = b.group("c", 0.2);
+        let d0 = b.input();
+        let mut net = b.dff(g, d0);
+        for _ in 0..12 {
+            net = b.gate(g, CellKind::Nand2, &[net, net]);
+        }
+        b.dff(g, net);
+        b.finish()
+    }
+
+    fn period_of(n: &Netlist) -> f64 {
+        analyze(n).unwrap().min_period_ps
+    }
+
+    #[test]
+    fn relaxed_target_needs_no_sizing() {
+        let mut n = wide_chain();
+        let r = fit_to_period(&mut n, 1.0e6).unwrap();
+        assert!(r.met);
+        assert_eq!(r.iterations, 0);
+        assert!(n.gates().iter().all(|g| g.size == 1));
+    }
+
+    #[test]
+    fn tight_target_costs_area() {
+        let mut relaxed = wide_chain();
+        fit_to_period(&mut relaxed, 1.0e6).unwrap();
+        let base_area = cell_area_um2(&relaxed);
+
+        let mut tight = wide_chain();
+        let t0 = period_of(&tight);
+        let r = fit_to_period(&mut tight, t0 * 0.7).unwrap();
+        assert!(r.met);
+        assert!(r.iterations > 0);
+        assert!(cell_area_um2(&tight) > base_area);
+    }
+
+    #[test]
+    fn impossible_target_reports_best() {
+        let mut n = wide_chain();
+        let err = fit_to_period(&mut n, 1.0).unwrap_err();
+        match err {
+            SizingError::Unachievable { best_ps } => {
+                assert!(best_ps > 1.0);
+                assert!(best_ps < period_of(&wide_chain()));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn best_period_is_monotone_floor() {
+        let mut n = wide_chain();
+        let best = best_period_ps(&mut n).unwrap();
+        assert!(fit_to_period(&mut wide_chain(), best * 1.2).is_ok());
+        assert!(fit_to_period(&mut wide_chain(), best * 0.8).is_err());
+    }
+
+    #[test]
+    fn area_monotonically_rises_as_target_tightens() {
+        let t0 = period_of(&wide_chain());
+        let mut last_area = 0.0;
+        for factor in [1.0, 0.9, 0.8, 0.72] {
+            let mut n = wide_chain();
+            if fit_to_period(&mut n, t0 * factor).is_ok() {
+                let a = cell_area_um2(&n);
+                assert!(a >= last_area, "area must not shrink as target tightens");
+                last_area = a;
+            }
+        }
+        assert!(last_area > 0.0);
+    }
+
+    #[test]
+    fn sizing_touches_whole_violating_cone() {
+        // Two parallel equal chains between registers: both violate, both
+        // must be sized (path-at-a-time sizing would alternate slowly).
+        let mut b = NetlistBuilder::new("par");
+        let g = b.group("c", 0.2);
+        let d0 = b.input();
+        let q = b.dff(g, d0);
+        let mut x = q;
+        let mut y = q;
+        for _ in 0..10 {
+            x = b.gate(g, CellKind::Nand2, &[x, x]);
+            y = b.gate(g, CellKind::Nor2, &[y, y]);
+        }
+        b.dff(g, x);
+        b.dff(g, y);
+        let mut n = b.finish();
+        let t0 = period_of(&n);
+        let r = fit_to_period(&mut n, t0 * 0.75).unwrap();
+        assert!(r.met);
+        // Both chains were upsized, not just the single critical one.
+        let sized_nand = n
+            .gates()
+            .iter()
+            .filter(|g| g.cell == CellKind::Nand2 && g.size > 1)
+            .count();
+        let sized_nor = n
+            .gates()
+            .iter()
+            .filter(|g| g.cell == CellKind::Nor2 && g.size > 1)
+            .count();
+        assert!(sized_nand >= 5, "nand chain sized: {sized_nand}");
+        assert!(sized_nor >= 5, "nor chain sized: {sized_nor}");
+    }
+
+    #[test]
+    fn iterations_bounded() {
+        let mut n = wide_chain();
+        let t0 = period_of(&n);
+        let r = fit_to_period(&mut n, t0 * 0.75).unwrap();
+        assert!(r.iterations <= MAX_SIZE as usize + 8);
+    }
+}

@@ -1,0 +1,46 @@
+//! # xpipes-topology — NoC topology graphs, routing and specifications
+//!
+//! xpipes Lite is a *heterogeneous* NoC library: the design flow
+//! instantiates arbitrary application-specific topologies, not just
+//! regular meshes. This crate provides:
+//!
+//! * the [`Topology`] graph of switches, links and network-interface
+//!   attachment points, with validation and path queries,
+//! * regular-topology builders ([`builders`]): mesh, torus, ring, star,
+//!   spidergon,
+//! * **source routing** ([`route`]): per-hop output-port paths encoded as
+//!   the bit string the packet header carries, plus whole-network routing
+//!   tables (the LUT contents of every initiator NI),
+//! * application task graphs ([`appgraph`]) used by the SunMap mapping
+//!   flow,
+//! * the complete [`spec::NocSpec`] consumed by the xpipesCompiler.
+//!
+//! # Examples
+//!
+//! ```
+//! use xpipes_topology::builders::mesh;
+//! use xpipes_topology::route::RoutingTables;
+//!
+//! # fn main() -> Result<(), xpipes_topology::TopologyError> {
+//! // A 3x3 mesh; attach one initiator at (0,0) and one target at (2,2).
+//! let mut m = mesh(3, 3)?;
+//! let src = m.attach_initiator("cpu0", (0, 0))?;
+//! let dst = m.attach_target("mem0", (2, 2))?;
+//! let topo = m.into_topology();
+//! let tables = RoutingTables::build(&topo)?;
+//! let route = tables.route(src, dst).expect("connected");
+//! assert_eq!(route.hops().len(), 5); // 4 switch traversals + ejection
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod appgraph;
+pub mod builders;
+pub mod graph;
+pub mod route;
+pub mod spec;
+
+pub use appgraph::{CoreKind, Flow, TaskGraph};
+pub use graph::{LinkEdge, NiAttachment, NiId, NiKind, PortId, SwitchId, Topology, TopologyError};
+pub use route::{RoutingTables, SourceRoute};
+pub use spec::NocSpec;

@@ -1,0 +1,48 @@
+//! # xpipes-traffic — workloads and traffic generation
+//!
+//! Evaluation traffic for assembled xpipes networks:
+//!
+//! * [`pattern`] — synthetic destination patterns (uniform random,
+//!   transpose, bit-complement, hotspot, nearest-neighbour),
+//! * [`generator`] — open-loop Bernoulli injectors that drive a
+//!   [`Noc`](xpipes::noc::Noc) at a configured offered load,
+//! * [`runner`] — warm-up / measure orchestration producing load–latency
+//!   points and full sweep curves,
+//! * [`appdriven`] — task-graph-driven traffic reproducing application
+//!   communication (used by the SunMap evaluation flow),
+//! * [`trace`] — request trace record and replay.
+//!
+//! # Examples
+//!
+//! ```
+//! use xpipes_topology::builders::mesh;
+//! use xpipes_topology::NocSpec;
+//! use xpipes_traffic::{pattern::Pattern, runner};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = mesh(2, 2)?;
+//! for i in 0..2 {
+//!     b.attach_initiator(format!("cpu{i}"), (i, 0))?;
+//!     b.attach_target(format!("mem{i}"), (i, 1))?;
+//! }
+//! let mut spec = NocSpec::new("lat", b.into_topology());
+//! let targets: Vec<_> = spec.topology.nis_of_kind(xpipes_topology::NiKind::Target)
+//!     .map(|a| a.ni).collect();
+//! for (i, t) in targets.iter().enumerate() {
+//!     spec.map_address(*t, (i as u64) << 20, 1 << 20)?;
+//! }
+//! let point = runner::measure(&spec, Pattern::Uniform, 0.01, 500, 2000, 7)?;
+//! assert!(point.avg_latency_cycles > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod appdriven;
+pub mod generator;
+pub mod pattern;
+pub mod runner;
+pub mod trace;
+
+pub use generator::{Injector, InjectorConfig};
+pub use pattern::Pattern;
+pub use runner::{measure, sweep, sweep_parallel, LoadPoint};

@@ -1,0 +1,205 @@
+//! Request trace record and replay.
+//!
+//! A [`Trace`] is a time-stamped script of OCP requests that can be
+//! replayed deterministically against any network — the mechanism for
+//! apples-to-apples topology comparisons (the same trace drives every
+//! candidate in the SunMap selection stage).
+
+use xpipes::noc::Noc;
+use xpipes::XpipesError;
+use xpipes_ocp::Request;
+use xpipes_topology::NiId;
+
+/// One traced submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Cycle at which the request is submitted.
+    pub cycle: u64,
+    /// Submitting initiator NI.
+    pub ni: NiId,
+    /// The request.
+    pub request: Request,
+}
+
+/// A deterministic request script.
+///
+/// # Examples
+///
+/// ```
+/// use xpipes_traffic::trace::Trace;
+/// use xpipes_ocp::Request;
+/// use xpipes_topology::NiId;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut trace = Trace::new();
+/// trace.push(0, NiId(0), Request::write(0x0, vec![1])?);
+/// trace.push(10, NiId(0), Request::read(0x0, 1)?);
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.duration(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event; events may be pushed out of order and are kept
+    /// sorted by cycle.
+    pub fn push(&mut self, cycle: u64, ni: NiId, request: Request) {
+        let event = TraceEvent { cycle, ni, request };
+        let pos = self.events.partition_point(|e| e.cycle <= cycle);
+        self.events.insert(pos, event);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Cycle of the last event (0 for an empty trace).
+    pub fn duration(&self) -> u64 {
+        self.events.last().map_or(0, |e| e.cycle)
+    }
+
+    /// Events in submission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Replays the trace on `noc`, then runs until the network drains or
+    /// `max_extra_cycles` elapse after the last submission. Returns the
+    /// total cycles simulated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission failures (unknown NI, unmapped address).
+    pub fn replay(&self, noc: &mut Noc, max_extra_cycles: u64) -> Result<u64, XpipesError> {
+        let mut idx = 0;
+        let mut cycle = 0u64;
+        while idx < self.events.len() {
+            while idx < self.events.len() && self.events[idx].cycle == cycle {
+                let e = &self.events[idx];
+                noc.submit(e.ni, e.request.clone())?;
+                idx += 1;
+            }
+            noc.step();
+            cycle += 1;
+        }
+        let mut extra = 0;
+        while !noc.is_idle() && extra < max_extra_cycles {
+            noc.step();
+            extra += 1;
+        }
+        Ok(cycle + extra)
+    }
+}
+
+impl FromIterator<TraceEvent> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceEvent>>(iter: I) -> Self {
+        let mut t = Trace::new();
+        for e in iter {
+            t.push(e.cycle, e.ni, e.request);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpipes_topology::builders::mesh;
+    use xpipes_topology::NocSpec;
+
+    fn spec() -> (NocSpec, NiId, NiId) {
+        let mut b = mesh(2, 1).unwrap();
+        let cpu = b.attach_initiator("cpu", (0, 0)).unwrap();
+        let mem = b.attach_target("mem", (1, 0)).unwrap();
+        let mut s = NocSpec::new("trace", b.into_topology());
+        s.map_address(mem, 0, 1 << 16).unwrap();
+        (s, cpu, mem)
+    }
+
+    #[test]
+    fn push_keeps_cycle_order() {
+        let mut t = Trace::new();
+        t.push(20, NiId(0), Request::read(0, 1).unwrap());
+        t.push(5, NiId(0), Request::read(8, 1).unwrap());
+        t.push(10, NiId(0), Request::read(16, 1).unwrap());
+        let cycles: Vec<u64> = t.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![5, 10, 20]);
+        assert_eq!(t.duration(), 20);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn replay_executes_all_events() {
+        let (spec, cpu, mem) = spec();
+        let mut trace = Trace::new();
+        trace.push(0, cpu, Request::write(0x10, vec![7]).unwrap());
+        trace.push(3, cpu, Request::write(0x18, vec![8]).unwrap());
+        let mut noc = Noc::new(&spec).unwrap();
+        let cycles = trace.replay(&mut noc, 10_000).unwrap();
+        assert!(cycles >= 4);
+        assert!(noc.is_idle());
+        assert_eq!(noc.memory(mem).unwrap().peek(0x10), 7);
+        assert_eq!(noc.memory(mem).unwrap().peek(0x18), 8);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let (spec, cpu, _) = spec();
+        let mut trace = Trace::new();
+        for i in 0..10u64 {
+            trace.push(i * 2, cpu, Request::write(i * 8, vec![i]).unwrap());
+        }
+        let mut n1 = Noc::new(&spec).unwrap();
+        let mut n2 = Noc::new(&spec).unwrap();
+        trace.replay(&mut n1, 10_000).unwrap();
+        trace.replay(&mut n2, 10_000).unwrap();
+        assert_eq!(n1.stats().flits_routed, n2.stats().flits_routed);
+        assert_eq!(
+            n1.stats().transaction_latency.mean(),
+            n2.stats().transaction_latency.mean()
+        );
+    }
+
+    #[test]
+    fn replay_rejects_bad_ni() {
+        let (spec, _, mem) = spec();
+        let mut trace = Trace::new();
+        trace.push(0, mem, Request::read(0, 1).unwrap()); // target, not initiator
+        let mut noc = Noc::new(&spec).unwrap();
+        assert!(trace.replay(&mut noc, 100).is_err());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let events = vec![
+            TraceEvent {
+                cycle: 4,
+                ni: NiId(0),
+                request: Request::read(0, 1).unwrap(),
+            },
+            TraceEvent {
+                cycle: 1,
+                ni: NiId(0),
+                request: Request::read(8, 1).unwrap(),
+            },
+        ];
+        let t: Trace = events.into_iter().collect();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[0].cycle, 1);
+    }
+}

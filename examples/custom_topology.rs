@@ -1,0 +1,65 @@
+//! The full SunMap flow: generate candidate topologies for the VOPD
+//! application (mesh variants + a custom clustered topology), evaluate
+//! each with the synthesis library, floorplanner and simulator, and pick
+//! a winner — the paper's "Shift Efforts at a Higher Abstraction Layer".
+//!
+//! Run with: `cargo run --release --example custom_topology`
+
+use xpipes_sunmap::apps;
+use xpipes_sunmap::mapping::{build_spec, map_to_mesh};
+use xpipes_sunmap::pareto::pareto_front;
+use xpipes_sunmap::selection::{optimize_buffers, select, SelectionConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = apps::vopd();
+    println!(
+        "selecting a topology for '{}' ({} cores)...",
+        app.name(),
+        app.core_count()
+    );
+
+    let mut config = SelectionConfig::default();
+    config.eval.warmup = 500;
+    config.eval.window = 5_000;
+
+    let outcome = select(&app, &config)?;
+    println!("\ncandidates (*, winner):");
+    print!("{outcome}");
+
+    if !outcome.failures.is_empty() {
+        println!("skipped candidates:");
+        for (name, why) in &outcome.failures {
+            println!("  {name}: {why}");
+        }
+    }
+
+    let front = pareto_front(&outcome.reports);
+    println!("\nPareto front (area / power / latency):");
+    for i in front {
+        let r = &outcome.reports[i];
+        println!(
+            "  {:<10} {:.3} mm²  {:.1} mW  {:.1} ns",
+            r.name, r.area_mm2, r.power_mw, r.avg_latency_ns
+        );
+    }
+
+    let w = outcome.winner();
+    println!(
+        "\nwinner: {} — {:.3} mm² at {:.0} MHz, {:.1} ns mean latency",
+        w.name, w.area_mm2, w.fmax_mhz, w.avg_latency_ns
+    );
+
+    // Component optimization pass: let the routing co-design recommend
+    // per-switch buffer depths for a mesh build of the same app, and see
+    // what the deeper queues buy.
+    let mapping = map_to_mesh(&app, 3, 4, 1, 42)?;
+    let spec = build_spec(&app, &mapping, 32)?;
+    let (optimized, report) = optimize_buffers(&spec, &app, &config.eval)?;
+    println!(
+        "\nbuffer co-design on mesh3x4: {} switches deepened; {:.3} mm², {:.1} cyc latency",
+        optimized.queue_depth_overrides.len(),
+        report.area_mm2,
+        report.avg_latency_cycles
+    );
+    Ok(())
+}

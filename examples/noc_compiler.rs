@@ -1,0 +1,81 @@
+//! The xpipesCompiler end to end: parse a NoC specification file, print
+//! the routing tables, emit the orthogonal synthesis (Verilog) and
+//! simulation (SystemC) views, then instantiate and smoke-test the
+//! simulation view.
+//!
+//! Run with: `cargo run --release --example noc_compiler`
+
+use xpipes::config::SwitchConfig;
+use xpipes_compiler::{emit, instantiate, parse_spec, print_spec, routing_report};
+use xpipes_ocp::Request;
+use xpipes_synth::components::switch_netlist;
+use xpipes_topology::NiId;
+
+const SPEC: &str = "
+# A heterogeneous 3-switch NoC: CPU + DSP sharing an SDRAM and a SRAM.
+noc media3 {
+  flit_width 32
+  arbitration rr
+  queue_depth 6
+  switch hub
+  switch left
+  switch right
+  link hub.0 <-> left.0 stages 1
+  link hub.1 <-> right.0 stages 2
+  initiator cpu @ left.1
+  initiator dsp @ right.1
+  target sdram @ hub.2 base 0x00000000 size 0x100000
+  target sram  @ right.2 base 0x00100000 size 0x10000
+}";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = parse_spec(SPEC)?;
+    spec.validate()?;
+    println!("parsed '{}' — normalised specification:\n", spec.name);
+    println!("{}", print_spec(&spec));
+
+    println!("{}", routing_report(&spec)?);
+
+    let verilog = emit::verilog_top(&spec);
+    println!(
+        "synthesis view: {} lines of structural Verilog",
+        verilog.lines().count()
+    );
+    for line in verilog
+        .lines()
+        .filter(|l| l.contains("xpipes_") && l.starts_with("  "))
+    {
+        println!("  {}", line.trim());
+    }
+
+    let systemc = emit::systemc_top(&spec);
+    println!(
+        "\nsimulation view: {} lines of SystemC",
+        systemc.lines().count()
+    );
+
+    // Gate-level view of one component, as the backend would consume it.
+    let gates = emit::gate_level_verilog(&switch_netlist(&SwitchConfig::new(3, 3, 32)));
+    println!(
+        "gate-level 3x3 switch: {} instance lines",
+        gates.lines().count() - 4
+    );
+
+    // Smoke-test the simulation view.
+    let mut noc = instantiate(&spec)?;
+    let cpu = spec
+        .topology
+        .ni_by_name("cpu")
+        .map(|a| a.ni)
+        .unwrap_or(NiId(0));
+    noc.submit(cpu, Request::write(0x40, vec![7])?)?;
+    noc.submit(cpu, Request::read(0x40, 1)?)?;
+    assert!(noc.run_until_idle(10_000));
+    let resp = noc.take_response(cpu)?.expect("read completes");
+    println!(
+        "\nsimulation smoke test: read returned {:?} after {} cycles",
+        resp.data(),
+        noc.now().as_u64()
+    );
+    Ok(())
+}

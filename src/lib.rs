@@ -1,0 +1,76 @@
+//! # xpipes-repro — workspace umbrella
+//!
+//! Shared helpers for the examples and cross-crate integration tests of
+//! the xpipes Lite reproduction. The actual library lives in the
+//! workspace crates:
+//!
+//! * [`xpipes`] — the NoC component library (the paper's contribution),
+//! * [`xpipes_sim`] / [`xpipes_ocp`] / [`xpipes_topology`] — substrates,
+//! * [`xpipes_synth`] — synthesis estimation,
+//! * [`xpipes_compiler`] — the xpipesCompiler,
+//! * [`xpipes_sunmap`] — the SunMap mapping/selection flow,
+//! * [`xpipes_traffic`] — workloads.
+
+use xpipes_topology::builders::mesh;
+use xpipes_topology::{NiId, NocSpec, TopologyError};
+
+/// Builds the standard test platform used across integration tests: a
+/// `k`×`k` mesh with one initiator per top-row switch and one target per
+/// bottom-row switch, 1 MiB address windows in target order.
+///
+/// Returns the spec plus the initiator and target NI ids.
+///
+/// # Errors
+///
+/// Propagates topology-construction errors for degenerate `k`.
+///
+/// # Examples
+///
+/// ```
+/// let (spec, cpus, mems) = xpipes_repro::test_platform(2)?;
+/// assert_eq!(cpus.len(), 2);
+/// assert_eq!(mems.len(), 2);
+/// assert!(spec.validate().is_ok());
+/// # Ok::<(), xpipes_topology::TopologyError>(())
+/// ```
+pub fn test_platform(k: usize) -> Result<(NocSpec, Vec<NiId>, Vec<NiId>), TopologyError> {
+    let mut b = mesh(k, k)?;
+    let mut cpus = Vec::with_capacity(k);
+    let mut mems = Vec::with_capacity(k);
+    for i in 0..k {
+        cpus.push(b.attach_initiator(format!("cpu{i}"), (i, 0))?);
+        mems.push(b.attach_target(format!("mem{i}"), (i, k - 1))?);
+    }
+    let mut spec = NocSpec::new(format!("platform{k}x{k}"), b.into_topology());
+    for (i, &m) in mems.iter().enumerate() {
+        spec.map_address(m, (i as u64) << 20, 1 << 20)
+            .map_err(|_| TopologyError::EmptyDimension)?;
+    }
+    Ok((spec, cpus, mems))
+}
+
+/// The address window base of target index `i` in a [`test_platform`].
+pub fn window_base(i: usize) -> u64 {
+    (i as u64) << 20
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_shapes() {
+        for k in [2usize, 3, 4] {
+            let (spec, cpus, mems) = test_platform(k).expect("valid k");
+            assert_eq!(cpus.len(), k);
+            assert_eq!(mems.len(), k);
+            assert!(spec.validate().is_ok());
+            assert_eq!(spec.decode_address(window_base(1)), Some(mems[1]));
+        }
+    }
+
+    #[test]
+    fn degenerate_platform_rejected() {
+        assert!(test_platform(0).is_err());
+    }
+}

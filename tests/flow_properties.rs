@@ -1,0 +1,123 @@
+//! Property tests on the design-flow algorithms: routing discipline,
+//! mapping feasibility, floorplan optimization and sizing monotonicity.
+
+use proptest::prelude::*;
+
+use xpipes_sunmap::floorplan::{floorplan, optimize};
+use xpipes_sunmap::mapping::map_to_mesh;
+use xpipes_topology::builders::{mesh, ring};
+use xpipes_topology::route::RoutingTables;
+use xpipes_topology::{CoreKind, NocSpec, TaskGraph};
+
+fn random_graph(cores: usize, flows: &[(usize, usize, u16)]) -> TaskGraph {
+    let mut g = TaskGraph::new("rand");
+    let ids: Vec<_> = (0..cores)
+        .map(|i| g.add_core(format!("c{i}"), CoreKind::Both))
+        .collect();
+    for &(a, b, bw) in flows {
+        let (a, b) = (a % cores, b % cores);
+        if a != b {
+            let _ = g.add_flow(ids[a], ids[b], f64::from(bw) + 1.0);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every route on any mesh with any NI placement is XY-monotone.
+    #[test]
+    fn all_mesh_routes_are_xy(
+        cols in 2usize..6,
+        rows in 2usize..6,
+        placements in prop::collection::vec((0usize..5, 0usize..5, any::<bool>()), 2..8),
+    ) {
+        let mut b = mesh(cols, rows).expect("builds");
+        let mut attached = 0;
+        let mut has_ini = false;
+        let mut has_tgt = false;
+        for (i, &(x, y, initiator)) in placements.iter().enumerate() {
+            let at = (x % cols, y % rows);
+            let ok = if initiator {
+                b.attach_initiator(format!("i{i}"), at).is_ok()
+            } else {
+                b.attach_target(format!("t{i}"), at).is_ok()
+            };
+            if ok {
+                attached += 1;
+                has_ini |= initiator;
+                has_tgt |= !initiator;
+            }
+        }
+        prop_assume!(attached >= 2 && has_ini && has_tgt);
+        let topo = b.into_topology();
+        let tables = RoutingTables::build(&topo).expect("routable mesh");
+        for ni in topo.nis() {
+            for (_, route) in tables.lut_for(ni.ni) {
+                let hops = route.hops();
+                let transit = &hops[..hops.len().saturating_sub(1)];
+                let mut seen_y = false;
+                for p in transit {
+                    match p.0 {
+                        0 | 1 => prop_assert!(!seen_y, "route {route} violates XY"),
+                        2 | 3 => seen_y = true,
+                        _ => prop_assert!(false, "non-direction transit port in {route}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mapping always respects switch capacity, and its cost is bounded
+    /// below by the total bandwidth (every flow travels at least its
+    /// ejection hop).
+    #[test]
+    fn mapping_feasible_and_cost_bounded(
+        cores in 2usize..10,
+        flows in prop::collection::vec((0usize..10, 0usize..10, 1u16..500), 1..12),
+        seed in 0u64..100,
+    ) {
+        let g = random_graph(cores, &flows);
+        prop_assume!(!g.flows().is_empty());
+        let cap = 2;
+        let slots_needed = cores.div_ceil(cap);
+        let side = (slots_needed as f64).sqrt().ceil() as usize;
+        let rows = slots_needed.div_ceil(side).max(1);
+        let m = map_to_mesh(&g, side.max(1), rows, cap, seed).expect("fits");
+        prop_assert!(m.occupancy().iter().all(|&o| o <= cap));
+        prop_assert!(m.cost(&g) >= g.total_bandwidth());
+    }
+
+    /// The floorplan optimizer never makes total wire length worse.
+    #[test]
+    fn floorplan_optimize_never_regresses(n in 3usize..12) {
+        let spec = NocSpec::new("ring", ring(n).expect("builds"));
+        let base = floorplan(&spec);
+        let tuned = optimize(&spec, &base);
+        prop_assert!(tuned.total_wire_mm <= base.total_wire_mm + 1e-9);
+        prop_assert!(tuned.max_link_mm <= base.max_link_mm + 1e-9);
+    }
+}
+
+/// Sizing monotonicity on a real component: tightening the target never
+/// shrinks area, and met targets stay met when relaxed.
+#[test]
+fn component_sizing_is_monotone() {
+    use xpipes::config::SwitchConfig;
+    use xpipes_synth::components::switch_netlist;
+    use xpipes_synth::report::synthesize;
+
+    let netlist = switch_netlist(&SwitchConfig::new(3, 3, 32));
+    let mut last_area = 0.0;
+    for target in [300.0, 600.0, 900.0, 1050.0] {
+        let r = synthesize(&netlist, target).expect("reachable targets");
+        assert!(
+            r.area_mm2 + 1e-12 >= last_area,
+            "area shrank at {target} MHz: {} < {last_area}",
+            r.area_mm2
+        );
+        last_area = r.area_mm2;
+        assert!(r.fmax_mhz >= target);
+    }
+}

@@ -1,0 +1,136 @@
+//! OCP protocol compliance at the network boundary: every transaction
+//! entering an initiator NI and every response returned to the core is
+//! checked against the OCP beat rules by the protocol monitor.
+
+use xpipes::noc::Noc;
+use xpipes_ocp::transaction::RequestBuilder;
+use xpipes_ocp::{BurstSeq, MCmd, Monitor, Request, ThreadId};
+use xpipes_repro::{test_platform, window_base};
+
+/// Runs a list of requests through the network while a monitor observes
+/// the OCP-side beat streams; returns the monitor.
+fn run_monitored(requests: Vec<(usize, Request)>) -> Monitor {
+    let (spec, cpus, _) = test_platform(2).expect("platform");
+    let mut noc = Noc::new(&spec).expect("instantiates");
+    let mut monitor = Monitor::new();
+    for (cpu, req) in requests {
+        for beat in req.to_beats() {
+            monitor.observe_request(&beat);
+        }
+        noc.submit(cpus[cpu], req).expect("mapped");
+    }
+    assert!(noc.run_until_idle(100_000), "network must drain");
+    for &cpu in &cpus {
+        while let Some(resp) = noc.take_response(cpu).expect("initiator") {
+            for beat in resp.to_beats() {
+                monitor.observe_response(&beat);
+            }
+        }
+    }
+    monitor
+}
+
+#[test]
+fn mixed_traffic_is_protocol_clean() {
+    let reqs = vec![
+        (
+            0,
+            Request::write(window_base(0), vec![1, 2, 3]).expect("valid"),
+        ),
+        (0, Request::read(window_base(0), 3).expect("valid")),
+        (
+            1,
+            Request::write(window_base(1) + 0x40, vec![9]).expect("valid"),
+        ),
+        (
+            1,
+            RequestBuilder::new(MCmd::WriteNonPost, window_base(1) + 0x80)
+                .data(vec![5, 6])
+                .tag(3)
+                .build()
+                .expect("valid"),
+        ),
+        (0, Request::read(window_base(1) + 0x40, 1).expect("valid")),
+    ];
+    let monitor = run_monitored(reqs);
+    assert!(monitor.is_clean(), "violations: {:?}", monitor.violations());
+    assert_eq!(monitor.outstanding(), 0, "all responses must have arrived");
+    assert!(monitor.requests_seen() >= 5);
+    assert!(
+        monitor.responses_seen() >= 3,
+        "read burst + read + nonposted ack"
+    );
+}
+
+#[test]
+fn threaded_transactions_complete_per_thread() {
+    let (spec, cpus, _) = test_platform(2).expect("platform");
+    let mut noc = Noc::new(&spec).expect("instantiates");
+    // Two threads issue interleaved reads; the thread ids must survive
+    // the round trip (the paper's "supports threading extensions").
+    for t in 0..2u8 {
+        for i in 0..3u64 {
+            let req = RequestBuilder::new(MCmd::Read, window_base(0) + (t as u64 * 64) + i * 8)
+                .burst_len(1)
+                .thread(ThreadId(t))
+                .tag((t * 4 + i as u8) % 16)
+                .build()
+                .expect("valid");
+            noc.submit(cpus[0], req).expect("mapped");
+        }
+    }
+    assert!(noc.run_until_idle(100_000));
+    let mut per_thread = [0usize; 2];
+    while let Some(resp) = noc.take_response(cpus[0]).expect("initiator") {
+        per_thread[resp.thread().0 as usize] += 1;
+    }
+    assert_eq!(per_thread, [3, 3], "each thread's responses kept their id");
+}
+
+#[test]
+fn wrap_burst_round_trips_through_the_network() {
+    let (spec, cpus, mems) = test_platform(2).expect("platform");
+    let mut noc = Noc::new(&spec).expect("instantiates");
+    // Preload a wrap-aligned line in target 0.
+    for i in 0..4u64 {
+        noc.memory_mut(mems[0])
+            .expect("target")
+            .poke(0x100 + i * 8, 0x70 + i);
+    }
+    // Critical-word-first read starting mid-line.
+    let req = RequestBuilder::new(MCmd::Read, window_base(0) + 0x110)
+        .burst_len(4)
+        .burst_seq(BurstSeq::Wrap)
+        .build()
+        .expect("valid");
+    noc.submit(cpus[0], req).expect("mapped");
+    assert!(noc.run_until_idle(100_000));
+    let resp = noc
+        .take_response(cpus[0])
+        .expect("initiator")
+        .expect("completed");
+    assert_eq!(
+        resp.data(),
+        &[0x72, 0x73, 0x70, 0x71],
+        "wrap order preserved end to end"
+    );
+}
+
+#[test]
+fn sideband_flags_travel_with_requests() {
+    let (spec, cpus, mems) = test_platform(2).expect("platform");
+    let mut noc = Noc::new(&spec).expect("instantiates");
+    let req = RequestBuilder::new(MCmd::Write, window_base(0))
+        .data(vec![1])
+        .sideband(xpipes_ocp::Sideband {
+            interrupt: false,
+            flags: 0b1010,
+        })
+        .build()
+        .expect("valid");
+    noc.submit(cpus[0], req).expect("mapped");
+    assert!(noc.run_until_idle(100_000));
+    // The flags rode the header; delivery implies the codec carried them
+    // (unit tests check bit-exactness; here we check the write landed).
+    assert_eq!(noc.memory(mems[0]).expect("target").peek(0), 1);
+}

@@ -1,0 +1,193 @@
+//! The paper's quantitative claims, asserted as tests. Each test names
+//! the experiment id from DESIGN.md; absolute values use wide tolerances
+//! (our substrate is a calibrated model, not the authors' testbed) but
+//! every *shape* claim — who wins, in which direction, by roughly what
+//! factor — is enforced.
+
+use xpipes::config::{NiConfig, SwitchConfig};
+use xpipes_bench::experiments::{
+    freq_area_tradeoff, mesh_case_study, ni_synthesis, pipeline_latency, switch_synthesis,
+    FLIT_WIDTHS,
+};
+use xpipes_synth::components::{initiator_ni_netlist, switch_netlist, target_ni_netlist};
+use xpipes_synth::report::{synthesize, synthesize_max_speed};
+
+/// E1/E2: NI area & power grow with flit width; initiator > target.
+#[test]
+fn e1_e2_ni_synthesis_shapes() {
+    let rows = ni_synthesis(&FLIT_WIDTHS).expect("synthesis");
+    for pair in rows.windows(2) {
+        assert!(pair[1].initiator.area_mm2 > pair[0].initiator.area_mm2);
+        assert!(pair[1].target.area_mm2 > pair[0].target.area_mm2);
+        assert!(pair[1].initiator.power_mw > pair[0].initiator.power_mw);
+        assert!(pair[1].target.power_mw > pair[0].target.power_mw);
+    }
+    for r in &rows {
+        assert!(r.initiator.area_mm2 > r.target.area_mm2);
+        assert!(r.initiator.power_mw > r.target.power_mw);
+    }
+    // Absolute band: tens of thousandths of mm² at 130 nm.
+    assert!(rows[1].initiator.area_mm2 > 0.01 && rows[1].initiator.area_mm2 < 0.15);
+}
+
+/// E3/E4: switch area & power grow with width and radix.
+#[test]
+fn e3_e4_switch_synthesis_shapes() {
+    let rows = switch_synthesis(&[(4, 4), (6, 4)], &[16, 32, 64]).expect("synthesis");
+    let at = |i: usize, o: usize, w: u32| {
+        rows.iter()
+            .find(|r| r.inputs == i && r.outputs == o && r.flit_width == w)
+            .expect("row exists")
+    };
+    for w in [16, 32, 64] {
+        assert!(at(6, 4, w).report.area_mm2 > at(4, 4, w).report.area_mm2);
+        assert!(at(6, 4, w).report.power_mw > at(4, 4, w).report.power_mw);
+    }
+    assert!(at(4, 4, 64).report.area_mm2 > at(4, 4, 16).report.area_mm2 * 2.0);
+}
+
+/// E9 + mesh-study frequencies: 4x4 and the NIs meet 1 GHz at 130 nm;
+/// the 6x4 runs at the paper's 875–980 MHz *relative* window (87.5–98%
+/// of the 4x4's clock).
+#[test]
+fn e9_frequency_anchors() {
+    let f44 = synthesize_max_speed(&switch_netlist(&SwitchConfig::new(4, 4, 32)))
+        .expect("timeable")
+        .fmax_mhz;
+    let f64_ = synthesize_max_speed(&switch_netlist(&SwitchConfig::new(6, 4, 32)))
+        .expect("timeable")
+        .fmax_mhz;
+    let fni = synthesize_max_speed(&initiator_ni_netlist(&NiConfig::new(32)))
+        .expect("timeable")
+        .fmax_mhz;
+    assert!(f44 >= 1000.0, "4x4 must reach 1 GHz, got {f44}");
+    assert!(fni >= 1000.0, "NI must reach 1 GHz, got {fni}");
+    let ratio = f64_ / f44;
+    assert!(
+        (0.82..=1.00).contains(&ratio),
+        "6x4/4x4 clock ratio {ratio} outside the paper's 875–980/1000 window"
+    );
+}
+
+/// E5: the mesh case study — component areas ordered NI < 4x4 < 6x4 at
+/// every width, and the 3x4 D26 mesh lands near the paper's ~2.6 mm².
+#[test]
+fn e5_mesh_case_study() {
+    let study = mesh_case_study().expect("study");
+    for (w, ini, tgt, s44, s64) in &study.component_rows {
+        assert!(tgt < ini, "target NI smaller at w={w}");
+        assert!(ini < s44, "initiator NI smaller than 4x4 at w={w}");
+        assert!(s44 < s64, "4x4 smaller than 6x4 at w={w}");
+    }
+    // Largest series tops out in the figure's 0.3–0.55 mm² region.
+    let (_, _, _, _, top) = study.component_rows.last().expect("rows");
+    assert!((0.25..0.60).contains(top), "6x4 @128: {top}");
+    // The headline claim: ~2.6 mm² falls between our 32- and 64-bit
+    // totals, and both are within ±35% of the paper number.
+    let t32 = study
+        .mesh_totals_mm2
+        .iter()
+        .find(|(w, _)| *w == 32)
+        .expect("w32")
+        .1;
+    let t64 = study
+        .mesh_totals_mm2
+        .iter()
+        .find(|(w, _)| *w == 64)
+        .expect("w64")
+        .1;
+    assert!(
+        t32 < 2.6 && 2.6 < t64,
+        "2.6 mm² bracketed by {t32:.2} and {t64:.2}"
+    );
+    assert!((1.7..3.5).contains(&t32), "w32 total {t32:.2}");
+    assert!((1.7..3.6).contains(&t64), "w64 total {t64:.2}");
+}
+
+/// E6: the 5x5 banana curve — flat floor near 0.10 mm², monotone rise
+/// toward fmax, with a meaningful spread (paper: 0.10 → 0.18 mm²).
+#[test]
+fn e6_freq_area_tradeoff() {
+    let pts = freq_area_tradeoff(&[200.0, 600.0, 1000.0, 1200.0, 1400.0]).expect("sweep");
+    for pair in pts.windows(2) {
+        assert!(
+            pair[1].1 >= pair[0].1,
+            "area must not shrink with tighter clocks"
+        );
+    }
+    let floor = pts[0].1;
+    let top = pts.last().expect("points").1;
+    assert!((0.07..0.14).contains(&floor), "floor {floor} vs paper 0.10");
+    assert!(
+        top / floor > 1.3,
+        "spread {:.2}x vs paper ~1.8x",
+        top / floor
+    );
+    assert!(
+        pts.last().expect("points").2,
+        "1.4 GHz must be achievable (paper plot reaches ~1.4–1.5 GHz)"
+    );
+}
+
+/// E7: the custom application-specific topology needs the fewest clock
+/// cycles but runs the slowest clock (its clustered switches have higher
+/// radix), while meshes clock faster — the paper's 925/850 MHz meshes vs
+/// the 780 MHz custom topology.
+#[test]
+fn e7_custom_topology_tradeoff() {
+    use xpipes_bench::experiments::{e7_eval_config, topology_comparison};
+    let rows = topology_comparison(&e7_eval_config()).expect("comparison");
+    let custom = rows
+        .iter()
+        .find(|r| r.name == "custom")
+        .expect("custom candidate");
+    let meshes: Vec<_> = rows.iter().filter(|r| r.name.starts_with("mesh")).collect();
+    assert!(!meshes.is_empty());
+    // Fewest cycles of latency...
+    for m in &meshes {
+        assert!(
+            custom.latency_cycles <= m.latency_cycles + 0.5,
+            "custom {} cyc vs {} {} cyc",
+            custom.latency_cycles,
+            m.name,
+            m.latency_cycles
+        );
+    }
+    // ...but the slowest clock, in roughly the paper's ratio (780/925 ≈ 0.84).
+    let fastest_mesh = meshes.iter().map(|m| m.fmax_mhz).fold(0.0, f64::max);
+    let ratio = custom.fmax_mhz / fastest_mesh;
+    assert!(
+        (0.70..0.98).contains(&ratio),
+        "custom/mesh clock ratio {ratio} (paper: ~0.84)"
+    );
+}
+
+/// E8: 7 → 2 pipeline stages saves 5 cycles per switch traversal.
+#[test]
+fn e8_pipeline_stage_reduction() {
+    let p = pipeline_latency().expect("measurement");
+    let per_traversal = (p.legacy_cycles - p.lite_cycles) / 4.0;
+    assert!(
+        (4.5..5.5).contains(&per_traversal),
+        "per-traversal saving {per_traversal} vs paper's 5 stages"
+    );
+}
+
+/// Cross-check: the synthesis target knob works — the same netlist at a
+/// relaxed clock is never bigger than at 1 GHz.
+#[test]
+fn relaxed_targets_never_cost_more() {
+    for netlist in [
+        switch_netlist(&SwitchConfig::new(4, 4, 32)),
+        initiator_ni_netlist(&NiConfig::new(32)),
+        target_ni_netlist(&NiConfig::new(32)),
+    ] {
+        let relaxed = synthesize(&netlist, 300.0).expect("easy target");
+        let tight = synthesize(&netlist, 1000.0).expect("paper target");
+        assert!(
+            relaxed.area_mm2 <= tight.area_mm2 + 1e-12,
+            "{}",
+            netlist.name()
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! End-to-end transactions across the whole topology library: every
+//! builder (mesh, torus, ring, star, spidergon, tree) carries real OCP
+//! traffic with source routing, wormhole switching and ACK/nACK intact.
+
+use xpipes::noc::Noc;
+use xpipes_ocp::Request;
+use xpipes_topology::builders;
+use xpipes_topology::{NiKind, NocSpec, SwitchId, Topology};
+
+/// Attaches one initiator on the first switch and one target on the last,
+/// maps a window, and runs a write + readback.
+fn exercise(name: &str, mut topo: Topology) {
+    let first = SwitchId(0);
+    let last = SwitchId(topo.switch_count() - 1);
+    let cpu = topo
+        .attach_ni_auto("cpu", NiKind::Initiator, first)
+        .expect("initiator attaches");
+    let mem = topo
+        .attach_ni_auto("mem", NiKind::Target, last)
+        .expect("target attaches");
+    let mut spec = NocSpec::new(name, topo);
+    spec.map_address(mem, 0, 1 << 16).expect("window maps");
+    spec.validate()
+        .unwrap_or_else(|e| panic!("{name}: invalid spec: {e}"));
+
+    let mut noc = Noc::new(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+    noc.submit(cpu, Request::write(0x40, vec![0xC0DE]).expect("valid"))
+        .expect("mapped");
+    noc.submit(cpu, Request::read(0x40, 1).expect("valid"))
+        .expect("mapped");
+    assert!(noc.run_until_idle(50_000), "{name}: network must drain");
+    let resp = noc
+        .take_response(cpu)
+        .expect("initiator")
+        .expect("read completed");
+    assert_eq!(resp.data(), &[0xC0DE], "{name}: readback");
+    assert_eq!(
+        noc.memory(mem).expect("target").peek(0x40),
+        0xC0DE,
+        "{name}: memory"
+    );
+}
+
+#[test]
+fn mesh_carries_traffic() {
+    exercise(
+        "mesh",
+        builders::mesh(3, 3).expect("builds").into_topology(),
+    );
+}
+
+#[test]
+fn torus_carries_traffic() {
+    exercise(
+        "torus",
+        builders::torus(3, 3).expect("builds").into_topology(),
+    );
+}
+
+#[test]
+fn ring_carries_traffic() {
+    exercise("ring", builders::ring(6).expect("builds"));
+}
+
+#[test]
+fn star_carries_traffic() {
+    exercise("star", builders::star(5).expect("builds"));
+}
+
+#[test]
+fn spidergon_carries_traffic() {
+    exercise("spidergon", builders::spidergon(8).expect("builds"));
+}
+
+#[test]
+fn tree_carries_traffic() {
+    exercise("tree", builders::tree(2, 3).expect("builds"));
+}
+
+#[test]
+fn deep_line_hits_route_length_limit() {
+    // A 9-switch line needs 9 hops end to end — beyond the 7-hop header
+    // field. The failure must surface at validation, not as a hang.
+    let mut topo = builders::mesh(9, 1).expect("builds").into_topology();
+    let cpu = topo
+        .attach_ni_auto("cpu", NiKind::Initiator, SwitchId(0))
+        .expect("attaches");
+    let mem = topo
+        .attach_ni_auto("mem", NiKind::Target, SwitchId(8))
+        .expect("attaches");
+    let mut spec = NocSpec::new("longline", topo);
+    spec.map_address(mem, 0, 64).expect("maps");
+    // The spec itself validates (routes exist)…
+    spec.validate().expect("routable");
+    // …but header construction at submit time must reject the long route.
+    let mut noc = Noc::new(&spec).expect("instantiates");
+    let err = noc
+        .submit(cpu, Request::read(0, 1).expect("valid"))
+        .unwrap_err();
+    assert!(
+        matches!(err, xpipes::XpipesError::RouteTooLong { hops: 9, .. }),
+        "got {err}"
+    );
+}
