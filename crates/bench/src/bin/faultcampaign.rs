@@ -1,0 +1,130 @@
+//! Fault-injection campaign entry point.
+//!
+//! Runs the seeded fault-model × error-rate sweep with protocol
+//! invariant monitoring on the reference network and prints the
+//! machine-readable JSON report. Exits nonzero when any grid point
+//! violates an invariant or fails to drain, so CI can gate on it.
+//!
+//! ```text
+//! faultcampaign --faults all --cycles 20000 --seed 7
+//! faultcampaign --faults ack-loss,output-stall --rates 0.01,0.05 --out report.json
+//! ```
+
+use std::process::ExitCode;
+
+use xpipes_sim::FaultKind;
+use xpipes_traffic::faultcampaign::{campaign_spec, run_campaign, CampaignConfig};
+
+struct Args {
+    faults: Vec<FaultKind>,
+    cycles: u64,
+    seed: u64,
+    rates: Option<Vec<f64>>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        faults: FaultKind::ALL.to_vec(),
+        cycles: 20_000,
+        seed: 7,
+        rates: None,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--faults" => {
+                let v = value("--faults")?;
+                if v == "all" {
+                    args.faults = FaultKind::ALL.to_vec();
+                } else {
+                    args.faults = v
+                        .split(',')
+                        .map(|name| {
+                            FaultKind::from_name(name.trim())
+                                .ok_or_else(|| format!("unknown fault model '{name}'"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+            }
+            "--cycles" => {
+                args.cycles = value("--cycles")?
+                    .parse()
+                    .map_err(|e| format!("bad --cycles: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--rates" => {
+                let v = value("--rates")?;
+                let rates = v
+                    .split(',')
+                    .map(|r| {
+                        r.trim()
+                            .parse::<f64>()
+                            .map_err(|e| format!("bad rate: {e}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                args.rates = Some(rates);
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: faultcampaign [--faults all|NAME,..] [--cycles N] \
+                     [--seed N] [--rates R,..] [--out PATH]\n\
+                     fault models: {}",
+                    FaultKind::ALL.map(|k| k.name()).join(", ")
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut cfg = CampaignConfig::new(args.seed, args.cycles);
+    if let Some(rates) = args.rates {
+        cfg.error_rates = rates;
+    }
+    let report = match run_campaign(&campaign_spec(), &args.faults, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: campaign failed to assemble: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let json = report.to_json();
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    print!("{json}");
+    if report.pass {
+        ExitCode::SUCCESS
+    } else {
+        for run in report.failures() {
+            eprintln!(
+                "FAIL {} @ {:.4}: {}",
+                run.fault,
+                run.rate,
+                run.violations.join("; ")
+            );
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -49,6 +49,11 @@ pub struct SwitchConfig {
     /// Depth of the attached links' pipelines, which sizes the ACK/nACK
     /// retransmission buffers (2·depth + 2).
     pub link_pipeline: u32,
+    /// ACK timeout in transmit cycles: with a non-empty window and a
+    /// silent reverse channel for this long, the sender rewinds and
+    /// resends the whole window. `None` disables the timeout (a lossless
+    /// reverse channel never needs it).
+    pub ack_timeout: Option<u64>,
 }
 
 impl SwitchConfig {
@@ -62,6 +67,7 @@ impl SwitchConfig {
             output_queue_depth: 6,
             arbitration: Arbitration::RoundRobin,
             link_pipeline: 1,
+            ack_timeout: None,
         }
     }
 
@@ -86,6 +92,8 @@ pub struct NiConfig {
     pub max_burst: u32,
     /// Depth of the attached link's pipeline.
     pub link_pipeline: u32,
+    /// ACK timeout in transmit cycles (see [`SwitchConfig::ack_timeout`]).
+    pub ack_timeout: Option<u64>,
 }
 
 impl NiConfig {
@@ -98,6 +106,7 @@ impl NiConfig {
             lut_entries: 8,
             max_burst: 255,
             link_pipeline: 1,
+            ack_timeout: None,
         }
     }
 

@@ -18,6 +18,14 @@ use crate::flit::Flit;
 /// window (≤ 2·pipeline+2), so ambiguity is impossible.
 pub const SEQ_MOD: u8 = 64;
 
+/// Default sender ACK-timeout for a retransmission window of `capacity`
+/// flits: comfortably above any fault-free round trip (the reverse path
+/// is at most `capacity` cycles), so it only fires when the back-channel
+/// actually lost the acknowledgement.
+pub fn default_ack_timeout(capacity: usize) -> u64 {
+    (8 * capacity + 16) as u64
+}
+
 /// Forward modular distance from `from` to `to`.
 pub fn seq_dist(from: u8, to: u8) -> u8 {
     to.wrapping_sub(from) % SEQ_MOD
@@ -49,6 +57,22 @@ pub struct AckNack {
     pub ack: bool,
 }
 
+/// Deliberate protocol defects for conformance-testing the invariant
+/// checkers (`xpipes::monitor`): a correct checker must flag a sender
+/// sabotaged with any of these modes. Never enabled in normal operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowSabotage {
+    /// Rewind requests are silently discarded: nACKed (or timed-out)
+    /// flits are never retransmitted.
+    SkipRetransmission,
+    /// The sequence counter stops advancing: every new flit reuses the
+    /// same sequence number.
+    ReuseSequence,
+    /// A nACK prunes the window front instead of rewinding, losing the
+    /// rejected flit permanently.
+    DropOnNack,
+}
+
 /// Sender-side ACK/nACK engine with retransmission buffer.
 ///
 /// Per cycle, call [`process`](LinkTx::process) with the arrived reverse-
@@ -78,6 +102,15 @@ pub struct LinkTx {
     resend: Option<usize>,
     retransmissions: u64,
     sent: u64,
+    /// ACK timeout: with unacknowledged flits outstanding and no
+    /// reverse-channel arrival for this many transmit cycles, rewind the
+    /// whole window. `None` disables the timeout (reliable back-channel).
+    timeout: Option<u64>,
+    /// Transmit cycles since the last reverse-channel arrival while the
+    /// window was non-empty.
+    idle_reverse_cycles: u64,
+    timeouts: u64,
+    sabotage: Option<FlowSabotage>,
 }
 
 impl LinkTx {
@@ -101,7 +134,27 @@ impl LinkTx {
             resend: None,
             retransmissions: 0,
             sent: 0,
+            timeout: None,
+            idle_reverse_cycles: 0,
+            timeouts: 0,
+            sabotage: None,
         }
+    }
+
+    /// Creates a sender with an ACK timeout: after `timeout` transmit
+    /// cycles with unacknowledged flits and a silent reverse channel, the
+    /// whole window is rewound. Required for liveness when the
+    /// back-channel itself can lose ACK/nACK messages — without it a
+    /// full window whose ACKs were all dropped deadlocks.
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](Self::new); additionally when `timeout` is zero.
+    pub fn with_timeout(capacity: usize, timeout: u64) -> Self {
+        assert!(timeout > 0, "ack timeout must be positive");
+        let mut tx = Self::new(capacity);
+        tx.timeout = Some(timeout);
+        tx
     }
 
     /// Flits sent but not yet acknowledged.
@@ -119,6 +172,28 @@ impl LinkTx {
         self.sent
     }
 
+    /// Window rewinds triggered by the ACK timeout (statistics).
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// Retransmission buffer capacity in flits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sequence numbers currently held in the retransmission window,
+    /// oldest first (for the protocol monitor's aliasing checker).
+    pub fn window_seqs(&self) -> impl Iterator<Item = u8> + '_ {
+        self.window.iter().map(|(s, _)| *s)
+    }
+
+    /// Enables a deliberate protocol defect. Conformance-testing hook
+    /// for the invariant checkers only — see [`FlowSabotage`].
+    pub fn sabotage(&mut self, mode: FlowSabotage) {
+        self.sabotage = Some(mode);
+    }
+
     /// True when a *new* flit could be accepted this cycle: the window has
     /// room and no rewind is in progress.
     pub fn ready_for_new(&self) -> bool {
@@ -128,6 +203,7 @@ impl LinkTx {
     /// Handles the reverse-channel arrival of this cycle.
     pub fn process(&mut self, arrival: Option<AckNack>) {
         let Some(an) = arrival else { return };
+        self.idle_reverse_cycles = 0;
         if an.ack {
             // Cumulative ACK: everything up to and including `seq` is
             // delivered.
@@ -145,7 +221,11 @@ impl LinkTx {
         } else {
             // nACK: rewind to the requested sequence if it is still ours.
             if let Some(idx) = self.window.iter().position(|(s, _)| *s == an.seq) {
-                self.resend = Some(idx);
+                if self.sabotage == Some(FlowSabotage::DropOnNack) {
+                    self.window.pop_front();
+                } else {
+                    self.resend = Some(idx);
+                }
             }
         }
     }
@@ -158,6 +238,26 @@ impl LinkTx {
     ///
     /// Panics if `new` is provided while the sender is not ready for it.
     pub fn transmit(&mut self, new: Option<Flit>) -> Option<LinkFlit> {
+        if self.window.is_empty() {
+            self.idle_reverse_cycles = 0;
+        } else {
+            self.idle_reverse_cycles += 1;
+            if let Some(t) = self.timeout {
+                // Fire only on an injection-free cycle: a rewind cannot
+                // start while the caller is handing over a new flit.
+                if new.is_none() && self.resend.is_none() && self.idle_reverse_cycles >= t {
+                    // Reverse channel silent for a full timeout with flits
+                    // outstanding: assume the ACKs were lost, rewind the
+                    // whole window. Duplicates are re-ACKed downstream.
+                    self.resend = Some(0);
+                    self.timeouts += 1;
+                    self.idle_reverse_cycles = 0;
+                }
+            }
+        }
+        if self.sabotage == Some(FlowSabotage::SkipRetransmission) {
+            self.resend = None;
+        }
         if let Some(idx) = self.resend {
             assert!(new.is_none(), "cannot inject a new flit during a rewind");
             let (seq, flit) = self.window[idx].clone();
@@ -177,7 +277,9 @@ impl LinkTx {
         let flit = new?;
         assert!(self.window.len() < self.capacity, "window overflow");
         let seq = self.next_seq;
-        self.next_seq = seq_next(seq);
+        if self.sabotage != Some(FlowSabotage::ReuseSequence) {
+            self.next_seq = seq_next(seq);
+        }
         self.window.push_back((seq, flit.clone()));
         self.sent += 1;
         Some(LinkFlit {
@@ -491,6 +593,197 @@ mod tests {
     #[should_panic(expected = "half the sequence space")]
     fn oversized_window_rejected() {
         LinkTx::new(32);
+    }
+
+    #[test]
+    fn seq_dist_wraparound_grid() {
+        // Exhaustive modular-distance identities across the wrap point.
+        for from in 0..SEQ_MOD {
+            assert_eq!(seq_dist(from, from), 0);
+            assert_eq!(seq_dist(from, seq_next(from)), 1);
+            assert!(seq_next(from) < SEQ_MOD);
+            for d in 0..SEQ_MOD {
+                let to = (from + d) % SEQ_MOD;
+                assert_eq!(seq_dist(from, to), d, "from={from} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn tx_sequence_numbers_wrap_modulo_64() {
+        let mut tx = LinkTx::new(4);
+        // Send and immediately ACK 130 flits: sequences must wrap twice.
+        for i in 0..130u64 {
+            let sent = tx.transmit(Some(flit(i))).unwrap();
+            assert_eq!(sent.seq, (i % SEQ_MOD as u64) as u8, "flit {i}");
+            tx.process(Some(AckNack {
+                seq: sent.seq,
+                ack: true,
+            }));
+        }
+        assert_eq!(tx.in_flight(), 0);
+        assert_eq!(tx.sent(), 130);
+    }
+
+    #[test]
+    fn cumulative_ack_prunes_across_wraparound() {
+        let mut tx = LinkTx::new(4);
+        // Advance next_seq to 62 (send + ack 62 flits).
+        for i in 0..62u64 {
+            let s = tx.transmit(Some(flit(i))).unwrap();
+            tx.process(Some(AckNack {
+                seq: s.seq,
+                ack: true,
+            }));
+        }
+        // Fill the window across the 63 -> 0 boundary: seqs 62, 63, 0, 1.
+        for i in 62..66u64 {
+            let s = tx.transmit(Some(flit(i))).unwrap();
+            assert_eq!(s.seq, (i % 64) as u8);
+        }
+        assert_eq!(tx.in_flight(), 4);
+        assert!(!tx.ready_for_new());
+        // Cumulative ACK for wrapped seq 0 prunes 62, 63 and 0.
+        tx.process(Some(AckNack { seq: 0, ack: true }));
+        assert_eq!(tx.in_flight(), 1);
+        assert_eq!(tx.window_seqs().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn nack_rewind_across_wraparound() {
+        let mut tx = LinkTx::new(4);
+        for i in 0..63u64 {
+            let s = tx.transmit(Some(flit(i))).unwrap();
+            tx.process(Some(AckNack {
+                seq: s.seq,
+                ack: true,
+            }));
+        }
+        // Window holds seqs 63, 0, 1.
+        for i in 63..66u64 {
+            tx.transmit(Some(flit(i)));
+        }
+        tx.process(Some(AckNack { seq: 0, ack: false }));
+        let r = tx.transmit(None).unwrap();
+        assert_eq!(r.seq, 0, "rewind targets the wrapped sequence");
+        assert_eq!(tx.transmit(None).unwrap().seq, 1);
+        assert!(tx.ready_for_new());
+    }
+
+    #[test]
+    fn full_window_refuses_new_flits() {
+        let mut tx = LinkTx::new(4);
+        for i in 0..4u64 {
+            tx.transmit(Some(flit(i)));
+        }
+        assert_eq!(tx.in_flight(), tx.capacity());
+        assert!(!tx.ready_for_new());
+        // With nothing to resend and nothing new, the line stays silent.
+        assert!(tx.transmit(None).is_none());
+        assert_eq!(tx.sent(), 4);
+        // Acknowledging the whole window reopens it.
+        tx.process(Some(AckNack { seq: 3, ack: true }));
+        assert_eq!(tx.in_flight(), 0);
+        assert!(tx.ready_for_new());
+    }
+
+    #[test]
+    #[should_panic(expected = "window overflow")]
+    fn full_window_overflow_panics() {
+        let mut tx = LinkTx::new(2);
+        tx.transmit(Some(flit(0)));
+        tx.transmit(Some(flit(1)));
+        tx.transmit(Some(flit(2)));
+    }
+
+    #[test]
+    fn receiver_duplicate_detection_survives_wraparound() {
+        let mut rx = LinkRx::new();
+        // Deliver 70 in-order flits (expected wraps past 63).
+        for i in 0..70u64 {
+            let (d, a) = rx.receive(
+                LinkFlit {
+                    flit: flit(i),
+                    seq: (i % 64) as u8,
+                    corrupted: false,
+                },
+                true,
+            );
+            assert!(d.is_some(), "flit {i}");
+            assert!(a.ack);
+        }
+        assert_eq!(rx.expected(), 6);
+        // A stale retransmission of wrapped seq 4 is re-ACKed, not
+        // delivered again.
+        let (d, a) = rx.receive(
+            LinkFlit {
+                flit: flit(68),
+                seq: 4,
+                corrupted: false,
+            },
+            true,
+        );
+        assert!(d.is_none());
+        assert_eq!(a, AckNack { seq: 4, ack: true });
+        assert_eq!(rx.accepted(), 70);
+    }
+
+    #[test]
+    fn ack_timeout_rewinds_full_window() {
+        let mut tx = LinkTx::with_timeout(2, 5);
+        tx.transmit(Some(flit(0)));
+        tx.transmit(Some(flit(1)));
+        // Reverse channel dead. The silence counter ticks on every
+        // transmit cycle with flits outstanding: it reaches 4 after three
+        // silent cycles, and the next transmit hits the timeout of 5.
+        for _ in 0..3 {
+            assert!(tx.transmit(None).is_none());
+        }
+        let r0 = tx.transmit(None).expect("timeout rewind fires");
+        assert_eq!(r0.seq, 0);
+        let r1 = tx.transmit(None).expect("rewind continues");
+        assert_eq!(r1.seq, 1);
+        assert_eq!(tx.timeouts(), 1);
+        assert_eq!(tx.retransmissions(), 2);
+        // The receiver re-ACKs duplicates; a cumulative ACK then drains.
+        tx.process(Some(AckNack { seq: 1, ack: true }));
+        assert_eq!(tx.in_flight(), 0);
+    }
+
+    #[test]
+    fn ack_timeout_quiet_when_acks_flow() {
+        let mut tx = LinkTx::with_timeout(4, 3);
+        for i in 0..50u64 {
+            let s = tx.transmit(Some(flit(i))).unwrap();
+            // An ACK arrives every cycle: the timeout must never fire.
+            tx.process(Some(AckNack {
+                seq: s.seq,
+                ack: true,
+            }));
+        }
+        assert_eq!(tx.timeouts(), 0);
+        assert_eq!(tx.retransmissions(), 0);
+    }
+
+    #[test]
+    fn sabotage_reuse_sequence_duplicates_window_seqs() {
+        let mut tx = LinkTx::new(4);
+        tx.sabotage(FlowSabotage::ReuseSequence);
+        tx.transmit(Some(flit(0)));
+        tx.transmit(Some(flit(1)));
+        let seqs: Vec<u8> = tx.window_seqs().collect();
+        assert_eq!(seqs, vec![0, 0], "broken sender reuses sequence 0");
+    }
+
+    #[test]
+    fn sabotage_skip_retransmission_ignores_nacks() {
+        let mut tx = LinkTx::new(4);
+        tx.sabotage(FlowSabotage::SkipRetransmission);
+        tx.transmit(Some(flit(0)));
+        tx.process(Some(AckNack { seq: 0, ack: false }));
+        assert!(tx.transmit(None).is_none(), "rewind silently discarded");
+        assert_eq!(tx.retransmissions(), 0);
+        assert_eq!(tx.in_flight(), 1, "flit is stuck forever");
     }
 
     /// Lossless direct connection: everything sent arrives in order.

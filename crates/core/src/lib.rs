@@ -21,6 +21,9 @@
 //!   routing LUTs and burst-efficient packetization.
 //! * [`noc`] — whole-network assembly from a
 //!   [`NocSpec`](xpipes_topology::NocSpec) and cycle-accurate simulation.
+//! * [`monitor`] — online protocol invariant checkers (exactly-once
+//!   in-order delivery, sequence aliasing, liveness, flit conservation)
+//!   for fault-injection campaigns.
 //!
 //! ## Quick start
 //!
@@ -54,6 +57,7 @@ pub mod flit;
 pub mod flow_control;
 pub mod header;
 pub mod link;
+pub mod monitor;
 pub mod ni;
 pub mod noc;
 pub mod packet;
@@ -64,5 +68,6 @@ pub use config::{LinkConfig, NiConfig, SwitchConfig};
 pub use error::XpipesError;
 pub use flit::{Flit, FlitKind, FlitMeta};
 pub use header::Header;
+pub use monitor::{InvariantKind, InvariantViolation, MonitorConfig, ProtocolMonitor};
 pub use noc::{Noc, NocStats};
 pub use packet::Packet;

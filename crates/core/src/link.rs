@@ -3,12 +3,15 @@
 //! A link is two shift registers: a forward pipe carrying
 //! [`LinkFlit`]s and a reverse pipe carrying [`AckNack`]s, each `stages`
 //! cycles deep.
-//! An error injector corrupts forward flits with the configured
-//! probability, exercising the ACK/nACK protocol end to end.
+//! A fault injector driven by a [`FaultPlan`] corrupts forward flits
+//! (singly or in bursts) and drops or corrupts reverse-channel ACK/nACK
+//! messages, exercising the ACK/nACK protocol end to end. Reverse-channel
+//! corruption is modelled as a detected drop: control messages are
+//! CRC-protected, so the receiving sender discards a corrupted one.
 
 use std::collections::VecDeque;
 
-use xpipes_sim::SimRng;
+use xpipes_sim::{FaultPlan, SimRng};
 
 use crate::config::LinkConfig;
 use crate::flow_control::{AckNack, LinkFlit};
@@ -43,26 +46,43 @@ use crate::flow_control::{AckNack, LinkFlit};
 pub struct Link {
     fwd: VecDeque<Option<LinkFlit>>,
     rev: VecDeque<Option<AckNack>>,
-    error_rate: f64,
+    faults: FaultPlan,
     rng: SimRng,
     traversals: u64,
     corrupted: u64,
+    rev_dropped: u64,
+    rev_corrupted: u64,
+    burst_remaining: u32,
 }
 
 impl Link {
     /// Creates a link from its configuration and a deterministic RNG for
-    /// error injection.
+    /// error injection. The config's `error_rate` maps to single-flit
+    /// forward corruption.
     pub fn new(config: LinkConfig, rng: SimRng) -> Self {
+        let plan = FaultPlan {
+            flit_corruption_rate: config.error_rate,
+            corruption_burst_len: 1,
+            ..FaultPlan::none()
+        };
+        Link::with_faults(config, rng, plan)
+    }
+
+    /// Creates a link whose injector follows an explicit [`FaultPlan`].
+    pub fn with_faults(config: LinkConfig, rng: SimRng, faults: FaultPlan) -> Self {
         // An N-stage pipe delays by N shifts: the entering item passes
         // through N-1 interior slots plus the push/pop of the shift itself.
         let interior = (config.stages.max(1) - 1) as usize;
         Link {
             fwd: VecDeque::from(vec![None; interior]),
             rev: VecDeque::from(vec![None; interior]),
-            error_rate: config.error_rate,
+            faults: faults.clamped(),
             rng,
             traversals: 0,
             corrupted: 0,
+            rev_dropped: 0,
+            rev_corrupted: 0,
+            burst_remaining: 0,
         }
     }
 
@@ -81,20 +101,52 @@ impl Link {
         self.corrupted
     }
 
+    /// Reverse-channel ACK/nACK messages the injector dropped outright.
+    pub fn rev_dropped(&self) -> u64 {
+        self.rev_dropped
+    }
+
+    /// Reverse-channel ACK/nACK messages the injector corrupted (the
+    /// sender's control CRC detects these, so they behave as drops).
+    pub fn rev_corrupted(&self) -> u64 {
+        self.rev_corrupted
+    }
+
     /// Advances both pipes one cycle: pushes the inputs in, pops the
-    /// outputs out. The error injector may flag the entering forward flit
-    /// as corrupted.
+    /// outputs out. The fault injector may flag the entering forward flit
+    /// as corrupted (singly or as part of a burst) and may drop or
+    /// corrupt the entering reverse message.
     pub fn shift(
         &mut self,
         fwd_in: Option<LinkFlit>,
         rev_in: Option<AckNack>,
     ) -> (Option<LinkFlit>, Option<AckNack>) {
         let fwd_in = fwd_in.map(|mut lf| {
-            if self.error_rate > 0.0 && self.rng.chance(self.error_rate) {
+            if self.burst_remaining > 0 {
+                self.burst_remaining -= 1;
                 lf.corrupted = true;
                 self.corrupted += 1;
+            } else if self.faults.flit_corruption_rate > 0.0
+                && self.rng.chance(self.faults.flit_corruption_rate)
+            {
+                lf.corrupted = true;
+                self.corrupted += 1;
+                self.burst_remaining = self.faults.corruption_burst_len.saturating_sub(1);
             }
             lf
+        });
+        let rev_in = rev_in.and_then(|an| {
+            if self.faults.ack_loss_rate > 0.0 && self.rng.chance(self.faults.ack_loss_rate) {
+                self.rev_dropped += 1;
+                return None;
+            }
+            if self.faults.ack_corruption_rate > 0.0
+                && self.rng.chance(self.faults.ack_corruption_rate)
+            {
+                self.rev_corrupted += 1;
+                return None;
+            }
+            Some(an)
         });
         self.fwd.push_back(fwd_in);
         self.rev.push_back(rev_in);
@@ -180,6 +232,85 @@ mod tests {
         }
         assert!((800..1200).contains(&corrupt), "corrupt={corrupt}");
         assert_eq!(link.corrupted(), corrupt);
+    }
+
+    #[test]
+    fn burst_corruption_corrupts_consecutive_flits() {
+        let plan = FaultPlan {
+            flit_corruption_rate: 0.05,
+            corruption_burst_len: 4,
+            ..FaultPlan::none()
+        };
+        let mut link = Link::with_faults(LinkConfig::new(1), SimRng::seed(21), plan);
+        let mut flags = Vec::new();
+        for i in 0..4000 {
+            let (out, _) = link.shift(Some(lf(i)), None);
+            flags.push(out.map(|f| f.corrupted).unwrap_or(false));
+        }
+        // Every corruption event must extend into a run of 4 (bursts may
+        // chain if a fresh draw fires inside one, so runs are >= 4).
+        let mut runs = Vec::new();
+        let mut cur = 0usize;
+        for &f in &flags {
+            if f {
+                cur += 1;
+            } else if cur > 0 {
+                runs.push(cur);
+                cur = 0;
+            }
+        }
+        if cur > 0 {
+            runs.push(cur);
+        }
+        assert!(!runs.is_empty());
+        assert!(runs.iter().all(|&r| r >= 4), "runs={runs:?}");
+        assert_eq!(
+            link.corrupted(),
+            flags.iter().filter(|&&f| f).count() as u64
+        );
+    }
+
+    #[test]
+    fn reverse_channel_loss_and_corruption_drop_messages() {
+        let plan = FaultPlan {
+            ack_loss_rate: 0.3,
+            ack_corruption_rate: 0.3,
+            ..FaultPlan::none()
+        };
+        let mut link = Link::with_faults(LinkConfig::new(1), SimRng::seed(23), plan);
+        let mut arrived = 0u64;
+        for i in 0..2000u64 {
+            let (_, rev) = link.shift(
+                None,
+                Some(AckNack {
+                    seq: (i % 64) as u8,
+                    ack: true,
+                }),
+            );
+            if rev.is_some() {
+                arrived += 1;
+            }
+        }
+        assert!(link.rev_dropped() > 0);
+        assert!(link.rev_corrupted() > 0);
+        assert_eq!(arrived + link.rev_dropped() + link.rev_corrupted(), 2000);
+    }
+
+    #[test]
+    fn benign_plan_never_touches_reverse_channel() {
+        let mut link = Link::new(LinkConfig::new(1).with_error_rate(0.5), SimRng::seed(5));
+        for i in 0..500u64 {
+            let (_, rev) = link.shift(
+                None,
+                Some(AckNack {
+                    seq: (i % 64) as u8,
+                    ack: false,
+                }),
+            );
+            assert!(rev.is_some());
+        }
+        assert_eq!(link.rev_dropped(), 0);
+        assert_eq!(link.rev_corrupted(), 0);
     }
 
     #[test]

@@ -1,0 +1,455 @@
+//! Online protocol invariant checkers for fault-injection campaigns.
+//!
+//! The ACK/nACK go-back-N protocol promises that every flit handed to a
+//! [`LinkTx`] emerges from the paired [`LinkRx`] **exactly once, in
+//! order**, regardless of forward corruption, reverse-channel loss, or
+//! backpressure. The [`ProtocolMonitor`] watches every channel of a
+//! network while faults are injected and checks four invariants each
+//! cycle:
+//!
+//! * **In-order delivery** — the receiver accepts exactly the sequence of
+//!   flits the sender first transmitted, with no reordering, duplication
+//!   or invention.
+//! * **No sequence aliasing** — the go-back-N window never holds two
+//!   entries with the same sequence number, window numbering is
+//!   contiguous, and a retransmission always re-sends the flit originally
+//!   bound to that sequence number.
+//! * **Bounded-retransmission liveness** — a channel with undelivered
+//!   flits makes progress within a configurable cycle bound.
+//! * **Conservation of flits** — flits are neither created nor destroyed:
+//!   `accepted + in-transit == new flits sent`, checked online and again
+//!   at drain.
+//!
+//! The monitor is pure observation: it never perturbs the simulation, so
+//! a monitored run is cycle-identical to an unmonitored one.
+
+use std::collections::VecDeque;
+
+use crate::flit::Flit;
+use crate::flow_control::{seq_next, LinkRx, LinkTx};
+
+/// Which invariant a violation report refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvariantKind {
+    /// Exactly-once in-order delivery per channel.
+    InOrderDelivery,
+    /// Sequence-number aliasing inside the go-back-N window.
+    SeqAliasing,
+    /// Bounded-retransmission liveness.
+    Liveness,
+    /// Conservation of flits (none created, none destroyed).
+    Conservation,
+}
+
+impl InvariantKind {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            InvariantKind::InOrderDelivery => "in-order-delivery",
+            InvariantKind::SeqAliasing => "seq-aliasing",
+            InvariantKind::Liveness => "liveness",
+            InvariantKind::Conservation => "conservation",
+        }
+    }
+}
+
+/// One detected invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Cycle at which the violation was detected.
+    pub cycle: u64,
+    /// Channel label (as registered with [`ProtocolMonitor::add_channel`]).
+    pub channel: String,
+    /// Violated invariant.
+    pub kind: InvariantKind,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[cycle {}] {} on {}: {}",
+            self.cycle,
+            self.kind.name(),
+            self.channel,
+            self.detail
+        )
+    }
+}
+
+/// Monitor tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorConfig {
+    /// Cycles a channel with undelivered flits may go without progress
+    /// before the liveness invariant trips.
+    pub liveness_bound: u64,
+    /// Hard cap on recorded violations (a broken protocol would otherwise
+    /// flood memory; the first few violations carry all the signal).
+    pub max_violations: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            liveness_bound: 2000,
+            max_violations: 64,
+        }
+    }
+}
+
+/// Per-channel observer state.
+#[derive(Debug, Clone)]
+struct ChanState {
+    label: String,
+    /// Sequence number the next *new* (first-transmission) flit must carry.
+    expected_new_seq: u8,
+    /// New flits transmitted but not yet accepted: (seq, fingerprint).
+    pending: VecDeque<(u8, Flit)>,
+    /// Recently delivered flits: when an ACK is lost, go-back-N
+    /// legitimately retransmits flits the receiver already accepted (and
+    /// re-ACKs as duplicates), so these sequence numbers stay valid for
+    /// the receiver's duplicate-detection span.
+    delivered: VecDeque<(u8, Flit)>,
+    /// New-transmission events observed.
+    noted_new: u64,
+    /// Accept events observed.
+    noted_accepted: u64,
+    /// Cycle of the last new transmission or accept on this channel.
+    last_progress: u64,
+    /// Liveness already reported for the current stall (reset on progress).
+    live_reported: bool,
+}
+
+/// Observes every channel of a network and checks protocol invariants.
+///
+/// Wire-up: call [`note_transmit`](Self::note_transmit) whenever a sender
+/// drives a flit onto a link, [`note_accept`](Self::note_accept) whenever
+/// the paired receiver accepts one, [`check_endpoints`](Self::check_endpoints)
+/// once per channel per cycle, and [`finish`](Self::finish) after drain.
+#[derive(Debug, Clone, Default)]
+pub struct ProtocolMonitor {
+    config: MonitorConfig,
+    chans: Vec<ChanState>,
+    violations: Vec<InvariantViolation>,
+}
+
+impl ProtocolMonitor {
+    /// Creates a monitor with the given configuration.
+    pub fn new(config: MonitorConfig) -> Self {
+        ProtocolMonitor {
+            config,
+            chans: Vec::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// Registers a channel; returns its index for the `note_*` calls.
+    pub fn add_channel(&mut self, label: impl Into<String>) -> usize {
+        self.chans.push(ChanState {
+            label: label.into(),
+            expected_new_seq: 0,
+            pending: VecDeque::new(),
+            delivered: VecDeque::new(),
+            noted_new: 0,
+            noted_accepted: 0,
+            last_progress: 0,
+            live_reported: false,
+        });
+        self.chans.len() - 1
+    }
+
+    /// Number of registered channels.
+    pub fn channels(&self) -> usize {
+        self.chans.len()
+    }
+
+    /// All recorded violations, in detection order.
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
+    }
+
+    /// True when no invariant has tripped.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    fn record(&mut self, cycle: u64, ch: usize, kind: InvariantKind, detail: String) {
+        if self.violations.len() >= self.config.max_violations {
+            return;
+        }
+        self.violations.push(InvariantViolation {
+            cycle,
+            channel: self.chans[ch].label.clone(),
+            kind,
+            detail,
+        });
+    }
+
+    /// A sender drove `lf`'s flit onto channel `ch` this cycle. Classifies
+    /// the transmission as new or retransmission by sequence number and
+    /// checks the aliasing invariant on retransmissions.
+    pub fn note_transmit(&mut self, ch: usize, seq: u8, flit: &Flit, cycle: u64) {
+        let chan = &mut self.chans[ch];
+        if seq == chan.expected_new_seq {
+            chan.pending.push_back((seq, flit.clone()));
+            chan.expected_new_seq = seq_next(seq);
+            chan.noted_new += 1;
+            chan.last_progress = cycle;
+            chan.live_reported = false;
+            return;
+        }
+        // Retransmission: it must replay a sequence number still live at
+        // the receiver — either in flight (pending) or recently delivered
+        // (its ACK may have been lost) — with the exact flit originally
+        // bound to it.
+        match chan.pending.iter().find(|(s, _)| *s == seq) {
+            Some((_, original)) if original == flit => {}
+            Some(_) => {
+                let detail = format!("seq {seq} reused for a different flit");
+                self.record(cycle, ch, InvariantKind::SeqAliasing, detail);
+            }
+            None => match chan.delivered.iter().rev().find(|(s, _)| *s == seq) {
+                Some((_, original)) if original == flit => {} // duplicate, re-ACKed downstream
+                Some(_) => {
+                    let detail = format!("seq {seq} reused for a different flit after delivery");
+                    self.record(cycle, ch, InvariantKind::SeqAliasing, detail);
+                }
+                None => {
+                    let detail = format!("retransmission of unknown seq {seq}");
+                    self.record(cycle, ch, InvariantKind::SeqAliasing, detail);
+                }
+            },
+        }
+    }
+
+    /// The receiver on channel `ch` accepted `flit` this cycle. Checks the
+    /// exactly-once in-order invariant against the pending queue.
+    pub fn note_accept(&mut self, ch: usize, flit: &Flit, cycle: u64) {
+        let chan = &mut self.chans[ch];
+        chan.noted_accepted += 1;
+        chan.last_progress = cycle;
+        chan.live_reported = false;
+        match chan.pending.pop_front() {
+            Some((seq, expected)) => {
+                // Remember the delivery for the receiver's 32-sequence
+                // duplicate-detection span (SEQ_MOD / 2).
+                chan.delivered.push_back((seq, flit.clone()));
+                while chan.delivered.len() > 32 {
+                    chan.delivered.pop_front();
+                }
+                if expected != *flit {
+                    let detail = format!(
+                        "accepted flit differs from the one sent as seq {seq} \
+                         (packet {} vs {})",
+                        flit.meta.packet_id, expected.meta.packet_id
+                    );
+                    self.record(cycle, ch, InvariantKind::InOrderDelivery, detail);
+                }
+            }
+            None => {
+                let detail = format!(
+                    "accepted a flit never sent (packet {})",
+                    flit.meta.packet_id
+                );
+                self.record(cycle, ch, InvariantKind::InOrderDelivery, detail);
+            }
+        }
+    }
+
+    /// Once-per-cycle structural checks against the channel's endpoint
+    /// state: window well-formedness (aliasing), conservation, liveness.
+    pub fn check_endpoints(&mut self, ch: usize, tx: &LinkTx, rx: &LinkRx, cycle: u64) {
+        // Window well-formedness: distinct, contiguous sequence numbers,
+        // occupancy within capacity.
+        let seqs: Vec<u8> = tx.window_seqs().collect();
+        if seqs.len() > tx.capacity() {
+            let detail = format!(
+                "window holds {} flits, capacity {}",
+                seqs.len(),
+                tx.capacity()
+            );
+            self.record(cycle, ch, InvariantKind::SeqAliasing, detail);
+        }
+        let mut mask = 0u64;
+        let mut aliased = false;
+        for &s in &seqs {
+            if mask & (1u64 << s) != 0 {
+                aliased = true;
+            }
+            mask |= 1u64 << s;
+        }
+        if aliased {
+            let detail = format!("window holds duplicate sequence numbers: {seqs:?}");
+            self.record(cycle, ch, InvariantKind::SeqAliasing, detail);
+        } else {
+            for pair in seqs.windows(2) {
+                if pair[1] != seq_next(pair[0]) {
+                    let detail = format!("window numbering not contiguous: {seqs:?}");
+                    self.record(cycle, ch, InvariantKind::SeqAliasing, detail);
+                    break;
+                }
+            }
+        }
+
+        // Conservation: every new flit is either accepted or still in
+        // transit — never both, never neither.
+        let new_sent = tx.sent().saturating_sub(tx.retransmissions());
+        let accepted = rx.accepted();
+        let chan = &self.chans[ch];
+        let pending = chan.pending.len() as u64;
+        if accepted > new_sent {
+            let detail =
+                format!("receiver accepted {accepted} flits but only {new_sent} were sent");
+            self.record(cycle, ch, InvariantKind::Conservation, detail);
+        } else if chan.noted_new == new_sent
+            && chan.noted_accepted == accepted
+            && accepted + pending != new_sent
+        {
+            let detail = format!(
+                "flits lost or duplicated: sent {new_sent}, accepted {accepted}, \
+                 in transit {pending}"
+            );
+            self.record(cycle, ch, InvariantKind::Conservation, detail);
+        }
+
+        // Liveness: undelivered flits must make progress within the bound.
+        let chan = &mut self.chans[ch];
+        if !chan.pending.is_empty()
+            && !chan.live_reported
+            && cycle.saturating_sub(chan.last_progress) > self.config.liveness_bound
+        {
+            chan.live_reported = true;
+            let stalled = cycle - chan.last_progress;
+            let detail = format!(
+                "no progress for {stalled} cycles with {} undelivered flits",
+                chan.pending.len()
+            );
+            self.record(cycle, ch, InvariantKind::Liveness, detail);
+        }
+    }
+
+    /// Final conservation check after the network drained: every
+    /// transmitted flit must have been delivered.
+    pub fn finish(&mut self, cycle: u64) {
+        for ch in 0..self.chans.len() {
+            let n = self.chans[ch].pending.len();
+            if n > 0 {
+                let detail = format!("{n} flits transmitted but never delivered");
+                self.record(cycle, ch, InvariantKind::Conservation, detail);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, FlitMeta};
+    use xpipes_sim::Cycle;
+
+    fn flit(n: u64) -> Flit {
+        Flit::new(
+            FlitKind::Single,
+            n as u128,
+            FlitMeta::new(n, Cycle::ZERO, 0),
+        )
+    }
+
+    #[test]
+    fn clean_exchange_stays_clean() {
+        let mut m = ProtocolMonitor::new(MonitorConfig::default());
+        let ch = m.add_channel("test");
+        for i in 0..10u64 {
+            m.note_transmit(ch, (i % 64) as u8, &flit(i), i);
+            m.note_accept(ch, &flit(i), i + 1);
+        }
+        m.finish(20);
+        assert!(m.is_clean(), "{:?}", m.violations());
+    }
+
+    #[test]
+    fn retransmission_of_same_flit_is_clean() {
+        let mut m = ProtocolMonitor::new(MonitorConfig::default());
+        let ch = m.add_channel("test");
+        m.note_transmit(ch, 0, &flit(1), 0);
+        m.note_transmit(ch, 0, &flit(1), 5); // go-back-N replay
+        m.note_accept(ch, &flit(1), 6);
+        m.finish(10);
+        assert!(m.is_clean());
+    }
+
+    #[test]
+    fn seq_reuse_with_different_flit_detected() {
+        let mut m = ProtocolMonitor::new(MonitorConfig::default());
+        let ch = m.add_channel("test");
+        m.note_transmit(ch, 0, &flit(1), 0);
+        m.note_transmit(ch, 0, &flit(2), 1); // same seq, different flit
+        assert_eq!(m.violations().len(), 1);
+        assert_eq!(m.violations()[0].kind, InvariantKind::SeqAliasing);
+    }
+
+    #[test]
+    fn out_of_order_accept_detected() {
+        let mut m = ProtocolMonitor::new(MonitorConfig::default());
+        let ch = m.add_channel("test");
+        m.note_transmit(ch, 0, &flit(1), 0);
+        m.note_transmit(ch, 1, &flit(2), 1);
+        m.note_accept(ch, &flit(2), 2); // skipped flit 1
+        assert_eq!(m.violations()[0].kind, InvariantKind::InOrderDelivery);
+    }
+
+    #[test]
+    fn invented_flit_detected() {
+        let mut m = ProtocolMonitor::new(MonitorConfig::default());
+        let ch = m.add_channel("test");
+        m.note_accept(ch, &flit(9), 0);
+        assert_eq!(m.violations()[0].kind, InvariantKind::InOrderDelivery);
+    }
+
+    #[test]
+    fn liveness_trips_once_per_stall() {
+        let cfg = MonitorConfig {
+            liveness_bound: 10,
+            max_violations: 64,
+        };
+        let mut m = ProtocolMonitor::new(cfg);
+        let ch = m.add_channel("test");
+        m.note_transmit(ch, 0, &flit(1), 0);
+        let tx = LinkTx::new(4);
+        let rx = LinkRx::new();
+        for cycle in 1..40 {
+            m.check_endpoints(ch, &tx, &rx, cycle);
+        }
+        let live: Vec<_> = m
+            .violations()
+            .iter()
+            .filter(|v| v.kind == InvariantKind::Liveness)
+            .collect();
+        assert_eq!(live.len(), 1, "reported once, not every cycle");
+    }
+
+    #[test]
+    fn undelivered_flits_flagged_at_finish() {
+        let mut m = ProtocolMonitor::new(MonitorConfig::default());
+        let ch = m.add_channel("test");
+        m.note_transmit(ch, 0, &flit(1), 0);
+        m.finish(100);
+        assert_eq!(m.violations()[0].kind, InvariantKind::Conservation);
+    }
+
+    #[test]
+    fn violation_cap_is_enforced() {
+        let cfg = MonitorConfig {
+            liveness_bound: 2000,
+            max_violations: 3,
+        };
+        let mut m = ProtocolMonitor::new(cfg);
+        let ch = m.add_channel("test");
+        for i in 0..10u64 {
+            m.note_accept(ch, &flit(i), i); // every accept is "never sent"
+        }
+        assert_eq!(m.violations().len(), 3);
+    }
+}

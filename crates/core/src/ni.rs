@@ -37,9 +37,12 @@ struct NiPort {
 }
 
 impl NiPort {
-    fn new(retransmit_depth: usize) -> Self {
+    fn new(retransmit_depth: usize, ack_timeout: Option<u64>) -> Self {
         NiPort {
-            tx: LinkTx::new(retransmit_depth),
+            tx: match ack_timeout {
+                Some(t) => LinkTx::with_timeout(retransmit_depth, t),
+                None => LinkTx::new(retransmit_depth),
+            },
             rx: LinkRx::new(),
             out_queue: VecDeque::new(),
             rx_buf: Vec::new(),
@@ -161,7 +164,7 @@ impl InitiatorNi {
             config,
             routes,
             address_map,
-            port: NiPort::new((2 * config.link_pipeline + 2) as usize),
+            port: NiPort::new((2 * config.link_pipeline + 2) as usize, config.ack_timeout),
             outstanding: HashMap::new(),
             backlog: VecDeque::new(),
             responses: VecDeque::new(),
@@ -199,6 +202,21 @@ impl InitiatorNi {
     /// True when nothing is queued, in flight or outstanding.
     pub fn is_idle(&self) -> bool {
         self.port.is_idle() && self.outstanding.is_empty() && self.backlog.is_empty()
+    }
+
+    /// The ACK/nACK sender on the network port.
+    pub fn link_tx(&self) -> &LinkTx {
+        &self.port.tx
+    }
+
+    /// Mutable access to the sender (conformance hooks).
+    pub fn link_tx_mut(&mut self) -> &mut LinkTx {
+        &mut self.port.tx
+    }
+
+    /// The ACK/nACK receiver on the network port.
+    pub fn link_rx(&self) -> &LinkRx {
+        &self.port.rx
     }
 
     /// Responses delivered to the core but not yet collected.
@@ -371,7 +389,7 @@ impl TargetNi {
             id,
             config,
             routes,
-            port: NiPort::new((2 * config.link_pipeline + 2) as usize),
+            port: NiPort::new((2 * config.link_pipeline + 2) as usize, config.ack_timeout),
             memory,
             scheduled: VecDeque::new(),
             next_packet_id: ((id.0 as u64) << 32) | (1 << 31),
@@ -402,6 +420,21 @@ impl TargetNi {
     /// True when nothing is queued or in flight.
     pub fn is_idle(&self) -> bool {
         self.port.is_idle() && self.scheduled.is_empty()
+    }
+
+    /// The ACK/nACK sender on the network port.
+    pub fn link_tx(&self) -> &LinkTx {
+        &self.port.tx
+    }
+
+    /// Mutable access to the sender (conformance hooks).
+    pub fn link_tx_mut(&mut self) -> &mut LinkTx {
+        &mut self.port.tx
+    }
+
+    /// The ACK/nACK receiver on the network port.
+    pub fn link_rx(&self) -> &LinkRx {
+        &self.port.rx
     }
 
     /// Output side: drive one flit onto the link this cycle.

@@ -19,14 +19,15 @@ use std::collections::HashMap;
 
 use xpipes_ocp::{Request, Response, SlaveMemory};
 use xpipes_sim::trace::{SignalId, VcdWriter};
-use xpipes_sim::{Cycle, RunningStats, SimRng};
+use xpipes_sim::{Cycle, FaultPlan, RunningStats, SimRng};
 use xpipes_topology::spec::NocSpec;
 use xpipes_topology::{NiId, NiKind, SwitchId};
 
 use crate::config::{LinkConfig, NiConfig, SwitchConfig};
 use crate::error::XpipesError;
-use crate::flow_control::{AckNack, LinkFlit};
+use crate::flow_control::{default_ack_timeout, AckNack, FlowSabotage, LinkFlit, LinkRx, LinkTx};
 use crate::link::Link;
+use crate::monitor::{InvariantViolation, MonitorConfig, ProtocolMonitor};
 use crate::ni::{InitiatorNi, NiStats, TargetNi};
 use crate::switch::{Switch, SwitchStats};
 
@@ -65,10 +66,19 @@ pub struct NocStats {
     pub packets_delivered: u64,
     /// Flits moved through switch crossbars.
     pub flits_routed: u64,
-    /// Flits retransmitted by the ACK/nACK protocol.
+    /// Flits retransmitted by the ACK/nACK protocol (all senders: switch
+    /// output ports and NI network ports).
     pub retransmissions: u64,
     /// Flits corrupted by link error injection.
     pub flits_corrupted: u64,
+    /// Reverse-channel ACK/nACK messages dropped by fault injection.
+    pub acks_dropped: u64,
+    /// Reverse-channel ACK/nACK messages corrupted (and discarded).
+    pub acks_corrupted: u64,
+    /// ACK timeouts fired by senders (full-window rewinds).
+    pub ack_timeouts: u64,
+    /// Cycles switch outputs spent in injected transient stalls.
+    pub stall_cycles: u64,
     /// Transaction round-trip latency distribution (initiator-observed).
     pub transaction_latency: RunningStats,
     /// Request one-way delivery latency distribution (target-observed).
@@ -87,6 +97,10 @@ impl Default for NocStats {
             flits_routed: 0,
             retransmissions: 0,
             flits_corrupted: 0,
+            acks_dropped: 0,
+            acks_corrupted: 0,
+            ack_timeouts: 0,
+            stall_cycles: 0,
             transaction_latency: RunningStats::new(),
             request_latency: RunningStats::new(),
             latency_histogram: xpipes_sim::Histogram::new(lo, hi, buckets),
@@ -115,6 +129,12 @@ pub struct Noc {
     now: Cycle,
     name: String,
     trace: Option<TraceState>,
+    faults: FaultPlan,
+    /// Dedicated RNG stream for network-level fault injection (output
+    /// stalls), kept separate from the per-link streams so enabling one
+    /// fault model never perturbs another.
+    fault_rng: SimRng,
+    monitor: Option<ProtocolMonitor>,
 }
 
 impl Noc {
@@ -134,10 +154,38 @@ impl Noc {
     ///
     /// Propagates specification validation and routing failures.
     pub fn with_seed(spec: &NocSpec, seed: u64) -> Result<Self, XpipesError> {
+        Self::assemble(spec, seed, FaultPlan::none())
+    }
+
+    /// Instantiates the network with a fault-injection plan: forward-flit
+    /// corruption (single or burst) on every link, reverse-channel
+    /// ACK/nACK loss and corruption, and transient stalls at switch
+    /// outputs. Non-benign plans arm the senders' ACK timeout so the
+    /// protocol stays live when the reverse channel itself is lossy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates specification validation and routing failures.
+    pub fn with_faults(spec: &NocSpec, seed: u64, faults: &FaultPlan) -> Result<Self, XpipesError> {
+        Self::assemble(spec, seed, faults.clamped())
+    }
+
+    fn assemble(spec: &NocSpec, seed: u64, faults: FaultPlan) -> Result<Self, XpipesError> {
         spec.validate()?;
         let tables = spec.routing_tables()?;
         let topo = &spec.topology;
         let master_rng = SimRng::seed(seed);
+        // Lossy reverse channels can silently starve a sender; arm the
+        // ACK timeout whenever any fault model is active. Benign plans
+        // keep it off so fault-free behaviour is bit-identical to before.
+        let arm_timeout = !faults.is_benign();
+        // The link-level view of the plan: the spec's legacy error rate
+        // feeds single-flit corruption unless the plan sets its own.
+        let mut link_plan = faults;
+        if link_plan.flit_corruption_rate == 0.0 {
+            link_plan.flit_corruption_rate = spec.link_error_rate;
+            link_plan.corruption_burst_len = 1;
+        }
 
         // Switches, sized to the ports their node actually uses.
         let mut switches = Vec::with_capacity(topo.switch_count());
@@ -153,6 +201,9 @@ impl Noc {
                 .max()
                 .unwrap_or(1)
                 .max(1);
+            if arm_timeout {
+                cfg.ack_timeout = Some(default_ack_timeout(cfg.retransmit_depth()));
+            }
             switches.push(Switch::with_extra_stages(
                 cfg,
                 spec.extra_switch_stages as usize,
@@ -164,7 +215,10 @@ impl Noc {
         let mut targets = Vec::new();
         let mut initiator_index = HashMap::new();
         let mut target_index = HashMap::new();
-        let ni_cfg = NiConfig::new(spec.flit_width);
+        let mut ni_cfg = NiConfig::new(spec.flit_width);
+        if arm_timeout {
+            ni_cfg.ack_timeout = Some(default_ack_timeout((2 * ni_cfg.link_pipeline + 2) as usize));
+        }
         for att in topo.nis() {
             let routes: HashMap<_, _> = tables
                 .lut_for(att.ni)
@@ -193,7 +247,7 @@ impl Noc {
         let mut mkchannel = |producer, consumer, stages: u32| {
             let cfg = LinkConfig::new(stages).with_error_rate(spec.link_error_rate);
             let ch = Channel {
-                link: Link::new(cfg, master_rng.child(stream)),
+                link: Link::with_faults(cfg, master_rng.child(stream), link_plan),
                 producer,
                 consumer,
                 fwd_latch: None,
@@ -240,6 +294,11 @@ impl Noc {
             now: Cycle::ZERO,
             name: spec.name.clone(),
             trace: None,
+            faults,
+            // Stream 0 is never handed to a link (their streams start at
+            // 1), so stall injection never disturbs link error draws.
+            fault_rng: master_rng.child(0),
+            monitor: None,
         })
     }
 
@@ -413,8 +472,85 @@ impl Noc {
         self.switches.get(switch.0).map(Switch::stats)
     }
 
+    fn endpoint_label(&self, ep: Endpoint) -> String {
+        match ep {
+            Endpoint::SwitchPort { switch, port } => format!("sw{switch}.p{port}"),
+            Endpoint::Initiator(idx) => format!("ini{}", self.initiators[idx].id().0),
+            Endpoint::Target(idx) => format!("tgt{}", self.targets[idx].id().0),
+        }
+    }
+
+    fn producer_tx(&self, ep: Endpoint) -> &LinkTx {
+        match ep {
+            Endpoint::SwitchPort { switch, port } => self.switches[switch].link_tx(port),
+            Endpoint::Initiator(idx) => self.initiators[idx].link_tx(),
+            Endpoint::Target(idx) => self.targets[idx].link_tx(),
+        }
+    }
+
+    fn consumer_rx(&self, ep: Endpoint) -> &LinkRx {
+        match ep {
+            Endpoint::SwitchPort { switch, port } => self.switches[switch].link_rx(port),
+            Endpoint::Initiator(idx) => self.initiators[idx].link_rx(),
+            Endpoint::Target(idx) => self.targets[idx].link_rx(),
+        }
+    }
+
+    /// Attaches a protocol monitor: from now on every channel is watched
+    /// for in-order exactly-once delivery, sequence aliasing, liveness
+    /// and flit conservation. Enable before injecting traffic — the
+    /// monitor assumes it sees every transmission from cycle zero.
+    pub fn enable_monitor(&mut self, config: MonitorConfig) {
+        let mut monitor = ProtocolMonitor::new(config);
+        for i in 0..self.channels.len() {
+            let label = format!(
+                "{}->{}",
+                self.endpoint_label(self.channels[i].producer),
+                self.endpoint_label(self.channels[i].consumer)
+            );
+            monitor.add_channel(label);
+        }
+        self.monitor = Some(monitor);
+    }
+
+    /// Violations recorded so far (empty when no monitor is attached).
+    pub fn monitor_violations(&self) -> &[InvariantViolation] {
+        self.monitor.as_ref().map(|m| m.violations()).unwrap_or(&[])
+    }
+
+    /// Runs the monitor's end-of-run conservation check (call after the
+    /// network has drained).
+    pub fn finish_monitor(&mut self) {
+        let now = self.now.as_u64();
+        if let Some(m) = &mut self.monitor {
+            m.finish(now);
+        }
+    }
+
+    /// Arms a flow-control sabotage mode on **every** sender in the
+    /// network (switch output ports and NI network ports). Conformance
+    /// hook: a sabotaged network must trip the protocol monitor.
+    pub fn sabotage_all_senders(&mut self, mode: FlowSabotage) {
+        for sw in &mut self.switches {
+            for p in 0..sw.config().outputs {
+                sw.link_tx_mut(p).sabotage(mode);
+            }
+        }
+        for ni in &mut self.initiators {
+            ni.link_tx_mut().sabotage(mode);
+        }
+        for ni in &mut self.targets {
+            ni.link_tx_mut().sabotage(mode);
+        }
+    }
+
     /// Advances the network one clock cycle.
     pub fn step(&mut self) {
+        // The monitor is moved out for the duration of the step so its
+        // `note_*` calls can run between mutable component accesses.
+        let mut monitor = self.monitor.take();
+        let cycle = self.now.as_u64();
+
         // Phase 1: links shift.
         for ch in &mut self.channels {
             let (fwd, rev) = ch.link.shift(ch.fwd_latch.take(), ch.rev_latch.take());
@@ -431,6 +567,16 @@ impl Noc {
                 trace.vcd.change(self.now, trace.packet[i], pkt);
             }
         }
+        // Fault injection: transient backpressure at switch outputs.
+        if self.faults.stall_rate > 0.0 {
+            for s in 0..self.switches.len() {
+                for p in 0..self.switches[s].config().outputs {
+                    if self.fault_rng.chance(self.faults.stall_rate) {
+                        self.switches[s].stall_output(p, self.faults.stall_len as u64);
+                    }
+                }
+            }
+        }
         // Phase 2: producers transmit (consume reverse arrivals).
         for i in 0..self.channels.len() {
             let rev = self.channels[i].rev_arrival.take();
@@ -440,6 +586,9 @@ impl Noc {
                 Endpoint::Initiator(idx) => self.initiators[idx].transmit(rev),
                 Endpoint::Target(idx) => self.targets[idx].transmit(rev),
             };
+            if let (Some(m), Some(lf)) = (monitor.as_mut(), &out) {
+                m.note_transmit(i, lf.seq, &lf.flit, cycle);
+            }
             self.channels[i].fwd_latch = out;
         }
         // Phase 3: switch allocation + crossbar.
@@ -450,12 +599,34 @@ impl Noc {
         for i in 0..self.channels.len() {
             let fwd = self.channels[i].fwd_arrival.take();
             let consumer = self.channels[i].consumer;
+            // An accept is visible as a bump of the receiver's counter;
+            // the accepted flit is then the arriving one.
+            let watched = monitor.as_ref().map(|_| fwd.clone());
+            let accepted_before = monitor
+                .as_ref()
+                .map(|_| self.consumer_rx(consumer).accepted());
             let reply = match consumer {
                 Endpoint::SwitchPort { switch, port } => self.switches[switch].receive(port, fwd),
                 Endpoint::Initiator(idx) => self.initiators[idx].receive(fwd, self.now),
                 Endpoint::Target(idx) => self.targets[idx].receive(fwd, self.now),
             };
+            if let Some(m) = monitor.as_mut() {
+                let accepted_now = self.consumer_rx(consumer).accepted();
+                if accepted_now > accepted_before.unwrap_or(0) {
+                    if let Some(Some(lf)) = watched {
+                        m.note_accept(i, &lf.flit, cycle);
+                    }
+                }
+            }
             self.channels[i].rev_latch = reply;
+        }
+        // Monitor: once-per-cycle endpoint invariants on every channel.
+        if let Some(m) = monitor.as_mut() {
+            for i in 0..self.channels.len() {
+                let tx = self.producer_tx(self.channels[i].producer);
+                let rx = self.consumer_rx(self.channels[i].consumer);
+                m.check_endpoints(i, tx, rx, cycle);
+            }
         }
         // NI housekeeping.
         for ni in &mut self.initiators {
@@ -464,6 +635,7 @@ impl Noc {
         for ni in &mut self.targets {
             ni.tick(self.now);
         }
+        self.monitor = monitor;
         self.now = self.now.next();
     }
 
@@ -507,9 +679,21 @@ impl Noc {
             let st = sw.stats();
             s.flits_routed += st.flits_routed;
             s.retransmissions += st.retransmissions;
+            s.ack_timeouts += st.ack_timeouts;
+            s.stall_cycles += st.stalled_cycles;
+        }
+        for ni in &self.initiators {
+            s.retransmissions += ni.link_tx().retransmissions();
+            s.ack_timeouts += ni.link_tx().timeouts();
+        }
+        for ni in &self.targets {
+            s.retransmissions += ni.link_tx().retransmissions();
+            s.ack_timeouts += ni.link_tx().timeouts();
         }
         for ch in &self.channels {
             s.flits_corrupted += ch.link.corrupted();
+            s.acks_dropped += ch.link.rev_dropped();
+            s.acks_corrupted += ch.link.rev_corrupted();
         }
         for ni in &self.initiators {
             let st = ni.stats();

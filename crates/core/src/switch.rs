@@ -84,6 +84,8 @@ impl InputPort {
 struct OutputPort {
     queue: VecDeque<Flit>,
     tx: LinkTx,
+    /// Remaining forced-stall cycles (transient backpressure fault model).
+    stall: u64,
 }
 
 /// Cumulative switch statistics.
@@ -98,6 +100,10 @@ pub struct SwitchStats {
     pub contention_stalls: u64,
     /// Flits retransmitted by this switch's output ports.
     pub retransmissions: u64,
+    /// ACK timeouts fired by this switch's output ports.
+    pub ack_timeouts: u64,
+    /// Cycles an output port spent in an injected transient stall.
+    pub stalled_cycles: u64,
     /// Highest output-queue occupancy observed (flits), for buffer-sizing
     /// studies.
     pub max_queue_depth: usize,
@@ -176,7 +182,11 @@ impl Switch {
         let outputs = (0..config.outputs)
             .map(|_| OutputPort {
                 queue: VecDeque::with_capacity(config.output_queue_depth),
-                tx: LinkTx::new(config.retransmit_depth()),
+                tx: match config.ack_timeout {
+                    Some(t) => LinkTx::with_timeout(config.retransmit_depth(), t),
+                    None => LinkTx::new(config.retransmit_depth()),
+                },
+                stall: 0,
             })
             .collect();
         let arbiters = (0..config.outputs)
@@ -201,7 +211,35 @@ impl Switch {
     pub fn stats(&self) -> SwitchStats {
         let mut s = self.stats;
         s.retransmissions = self.outputs.iter().map(|o| o.tx.retransmissions()).sum();
+        s.ack_timeouts = self.outputs.iter().map(|o| o.tx.timeouts()).sum();
         s
+    }
+
+    /// Forces output `port` to stall (transmit nothing new) for `cycles`
+    /// cycles, modelling transient backpressure at the output buffer.
+    /// An already-stalled port keeps the longer of the two stalls.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range port.
+    pub fn stall_output(&mut self, port: usize, cycles: u64) {
+        let out = &mut self.outputs[port];
+        out.stall = out.stall.max(cycles);
+    }
+
+    /// The ACK/nACK sender guarding output `port`.
+    pub fn link_tx(&self, port: usize) -> &LinkTx {
+        &self.outputs[port].tx
+    }
+
+    /// Mutable access to the sender on output `port` (conformance hooks).
+    pub fn link_tx_mut(&mut self, port: usize) -> &mut LinkTx {
+        &mut self.outputs[port].tx
+    }
+
+    /// The ACK/nACK receiver guarding input `port`.
+    pub fn link_rx(&self, port: usize) -> &LinkRx {
+        &self.inputs[port].rx
     }
 
     /// True when no flit is buffered anywhere in the switch.
@@ -229,6 +267,12 @@ impl Switch {
     pub fn transmit(&mut self, port: usize, rev: Option<AckNack>) -> Option<LinkFlit> {
         let out = &mut self.outputs[port];
         out.tx.process(rev);
+        if out.stall > 0 {
+            // Injected backpressure: the port drives nothing this cycle.
+            out.stall -= 1;
+            self.stats.stalled_cycles += 1;
+            return None;
+        }
         let new = if out.tx.ready_for_new() {
             out.queue.pop_front()
         } else {
@@ -650,6 +694,39 @@ mod tests {
             .unwrap();
         assert!(!reply.ack);
         assert!(sw.is_idle());
+    }
+
+    #[test]
+    fn stalled_output_transmits_nothing_until_stall_expires() {
+        let mut sw = Switch::new(SwitchConfig::new(1, 1, 32));
+        // Preload the output queue with one flit via the normal pipeline.
+        let flit = packet_flits(3, &[0], 0).remove(0);
+        sw.receive(
+            0,
+            Some(LinkFlit {
+                flit,
+                seq: 0,
+                corrupted: false,
+            }),
+        );
+        sw.crossbar();
+        sw.stall_output(0, 3);
+        for _ in 0..3 {
+            assert!(sw.transmit(0, None).is_none());
+        }
+        assert!(sw.transmit(0, None).is_some());
+        assert_eq!(sw.stats().stalled_cycles, 3);
+    }
+
+    #[test]
+    fn stall_output_keeps_longer_stall() {
+        let mut sw = Switch::new(SwitchConfig::new(1, 1, 32));
+        sw.stall_output(0, 5);
+        sw.stall_output(0, 2);
+        for _ in 0..5 {
+            sw.transmit(0, None);
+        }
+        assert_eq!(sw.stats().stalled_cycles, 5);
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Minimal deterministic JSON document builder.
+//!
+//! The fault-injection campaign (and any other machine-readable report)
+//! needs byte-stable output: two runs with the same seed must serialize
+//! to identical text so reports can be diffed and golden-tested. This
+//! module renders JSON with insertion-ordered object keys, two-space
+//! indentation, and fixed-precision floats (no shortest-round-trip or
+//! locale-dependent formatting).
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order; floats carry an
+/// explicit decimal precision so rendering is reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A float rendered with a fixed number of decimals.
+    Fixed(f64, usize),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Self {
+        Json::Str(s.into())
+    }
+
+    /// An empty object builder.
+    pub fn object() -> ObjectBuilder {
+        ObjectBuilder(Vec::new())
+    }
+
+    /// Renders the document with two-space indentation and a trailing
+    /// newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Fixed(v, prec) => {
+                // NaN/infinity are not representable in JSON: clamp to 0.
+                let v = if v.is_finite() { *v } else { 0.0 };
+                let _ = write!(out, "{v:.prec$}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Incremental object construction preserving field order.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectBuilder(Vec<(String, Json)>);
+
+impl ObjectBuilder {
+    /// Appends a field.
+    #[must_use]
+    pub fn field(mut self, key: &str, value: Json) -> Self {
+        self.0.push((key.to_string(), value));
+        self
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> Json {
+        Json::Object(self.0)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.render(), "null\n");
+        assert_eq!(Json::Bool(true).render(), "true\n");
+        assert_eq!(Json::Int(-3).render(), "-3\n");
+        assert_eq!(Json::UInt(7).render(), "7\n");
+        assert_eq!(Json::Fixed(1.5, 3).render(), "1.500\n");
+        assert_eq!(Json::Fixed(f64::NAN, 2).render(), "0.00\n");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(Json::str("a\"b\\c\n").render(), "\"a\\\"b\\\\c\\n\"\n");
+        assert_eq!(Json::str("\u{1}").render(), "\"\\u0001\"\n");
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let doc = Json::object()
+            .field("zeta", Json::UInt(1))
+            .field("alpha", Json::Array(vec![Json::Int(1), Json::Int(2)]))
+            .build();
+        let text = doc.render();
+        assert!(text.find("zeta").unwrap() < text.find("alpha").unwrap());
+        assert_eq!(
+            text,
+            "{\n  \"zeta\": 1,\n  \"alpha\": [\n    1,\n    2\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn rendering_is_reproducible() {
+        let mk = || {
+            Json::object()
+                .field("rate", Json::Fixed(0.05, 4))
+                .field("runs", Json::Array(vec![Json::object().build()]))
+                .build()
+                .render()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

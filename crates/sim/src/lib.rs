@@ -11,7 +11,9 @@
 //!   simultaneously ([`Register`], [`Clocked`]),
 //! * deterministic random sources ([`rng::SimRng`]),
 //! * statistics gathering ([`stats`]),
-//! * value-change-dump tracing ([`trace::VcdWriter`]).
+//! * value-change-dump tracing ([`trace::VcdWriter`]),
+//! * fault-model specifications and campaign reports ([`faults`]) with a
+//!   byte-stable JSON renderer ([`json`]).
 //!
 //! # Examples
 //!
@@ -39,12 +41,16 @@
 //! assert_eq!(c.value.get(), 5);
 //! ```
 
+pub mod faults;
+pub mod json;
 pub mod kernel;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use faults::{CampaignReport, FaultKind, FaultPlan, FaultRun, RunSummary};
+pub use json::Json;
 pub use kernel::{Clocked, Register, Simulation};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, RunningStats};

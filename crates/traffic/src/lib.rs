@@ -10,7 +10,9 @@
 //!   points and full sweep curves,
 //! * [`appdriven`] — task-graph-driven traffic reproducing application
 //!   communication (used by the SunMap evaluation flow),
-//! * [`trace`] — request trace record and replay.
+//! * [`trace`] — request trace record and replay,
+//! * [`faultcampaign`] — seeded fault-injection campaigns sweeping fault
+//!   models across error-rate grids with protocol invariant monitoring.
 //!
 //! # Examples
 //!
@@ -38,11 +40,13 @@
 //! ```
 
 pub mod appdriven;
+pub mod faultcampaign;
 pub mod generator;
 pub mod pattern;
 pub mod runner;
 pub mod trace;
 
+pub use faultcampaign::{campaign_spec, run_campaign, CampaignConfig};
 pub use generator::{Injector, InjectorConfig};
 pub use pattern::Pattern;
 pub use runner::{measure, sweep, sweep_parallel, LoadPoint};

@@ -1,0 +1,105 @@
+//! Offline shim implementing the subset of the `proptest` API this
+//! workspace's property tests use: the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//! range/tuple/`Just`/`vec`/one-of strategies, and the `proptest!`,
+//! `prop_assert*`, `prop_assume!` macros driven by a deterministic
+//! seeded runner.
+//!
+//! Differences from upstream proptest: no shrinking (failing inputs are
+//! reported verbatim), and generation is deterministic per test name so
+//! failures reproduce without a persistence file.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The `proptest::prelude` equivalent: everything the test files import.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Top-level `prop` namespace (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Just};
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy producing `Vec`s of `element` values with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("ranges");
+        for _ in 0..200 {
+            let v = (1u8..=4).new_value(&mut rng);
+            assert!((1..=4).contains(&v));
+            let xs = prop::collection::vec(0usize..10, 2..5).new_value(&mut rng);
+            assert!((2..5).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = crate::test_runner::TestRng::for_test("map");
+        let doubled = (0u32..5).prop_map(|x| x * 2).new_value(&mut rng);
+        assert!(doubled % 2 == 0 && doubled < 10);
+    }
+
+    #[test]
+    fn oneof_picks_each_arm() {
+        let mut rng = crate::test_runner::TestRng::for_test("oneof");
+        let strat = prop_oneof![Just(1u32), Just(2), Just(3)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(strat.new_value(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn string_pattern_respects_length() {
+        let mut rng = crate::test_runner::TestRng::for_test("strings");
+        for _ in 0..100 {
+            let s = ".{0,40}".new_value(&mut rng);
+            assert!(s.chars().count() <= 40);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_roundtrip(a in 0u64..100, b in 0u64..100) {
+            prop_assume!(a != 99);
+            prop_assert!(a + b < 200);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn failing_property_panics() {
+        crate::test_runner::run_property(&ProptestConfig::with_cases(8), "always_fails", |rng| {
+            let x = (0u8..10).new_value(rng);
+            let _ = x;
+            Err(crate::test_runner::TestCaseError::fail(
+                "assertion failed: forced".to_string(),
+            ))
+        });
+    }
+}

@@ -1,0 +1,259 @@
+//! Offline shim implementing the subset of the `rand` 0.8 API this
+//! workspace uses. The build environment has no access to crates.io, so
+//! the workspace vendors a minimal, deterministic replacement: the trait
+//! surface (`RngCore`, `SeedableRng`, `Rng`) plus uniform sampling for the
+//! integer/float ranges the simulator draws from.
+//!
+//! The stream produced by a given generator is *not* bit-compatible with
+//! upstream `rand`; every consumer in this workspace only relies on
+//! determinism (same seed ⇒ same stream), which this shim guarantees.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source: raw 32/64-bit draws.
+pub trait RngCore {
+    /// Next raw 32-bit draw.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Seed type (fixed-size byte array in upstream rand).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a 64-bit seed into a full seed via SplitMix64 (the same
+    /// expansion upstream rand uses).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Convenience sampling on top of [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the "standard" distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform draw from a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: true with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types samplable from the standard distribution.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 random mantissa bits uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+/// Ranges uniform sampling is defined for.
+pub trait SampleRange {
+    /// Sampled value type.
+    type Output;
+
+    /// Draws one value uniformly from the range.
+    fn sample<R: RngCore>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Uniform draw in `[0, span)` without modulo bias (rejection sampling).
+fn uniform_below<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// `rand::rngs` namespace placeholder (unused, present for API shape).
+pub mod rngs {}
+
+/// `rand::prelude` re-exports.
+pub mod prelude {
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = Lcg(1);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = Lcg(2);
+        for _ in 0..1000 {
+            assert!((3..7).contains(&rng.gen_range(3usize..7)));
+            assert!((2..=4).contains(&rng.gen_range(2u64..=4)));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut rng = Lcg(3);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..500 {
+            match rng.gen_range(0u8..=1) {
+                0 => lo = true,
+                1 => hi = true,
+                _ => unreachable!(),
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = Lcg(4);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

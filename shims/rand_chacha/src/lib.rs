@@ -1,0 +1,168 @@
+//! Offline shim providing [`ChaCha8Rng`]: a real ChaCha-8 keystream
+//! generator with the `rand_chacha` 0.3 API surface this workspace uses
+//! (`seed_from_u64`, `set_stream`, `RngCore`). Output is deterministic and
+//! platform-independent, but not bit-compatible with upstream
+//! `rand_chacha` (nothing in this workspace depends on the exact stream).
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const BUF_WORDS: usize = 16;
+
+/// Deterministic ChaCha with 8 rounds.
+///
+/// The 64-bit `stream` occupies the nonce words, so generators with the
+/// same key but distinct streams produce independent sequences — the
+/// property `SimRng::child` relies on.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    stream: u64,
+    buf: [u32; BUF_WORDS],
+    /// Next unread word in `buf`; `BUF_WORDS` means the buffer is spent.
+    idx: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Selects the keystream `stream`, restarting block generation so the
+    /// new stream takes effect immediately.
+    pub fn set_stream(&mut self, stream: u64) {
+        if self.stream != stream {
+            self.stream = stream;
+            self.counter = 0;
+            self.idx = BUF_WORDS;
+        }
+    }
+
+    /// Current stream id.
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+        let input = state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double rounds (column + diagonal).
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.buf = state;
+        self.idx = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            stream: 0,
+            buf: [0; BUF_WORDS],
+            idx: BUF_WORDS,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= BUF_WORDS {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn streams_decorrelate() {
+        let base = ChaCha8Rng::seed_from_u64(7);
+        let mut s1 = base.clone();
+        s1.set_stream(1);
+        let mut s2 = base.clone();
+        s2.set_stream(2);
+        let same = (0..64).filter(|_| s1.next_u64() == s2.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn set_stream_mid_buffer_restarts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let _ = rng.next_u32();
+        rng.set_stream(5);
+        let mut fresh = ChaCha8Rng::seed_from_u64(9);
+        fresh.set_stream(5);
+        assert_eq!(rng.next_u64(), fresh.next_u64());
+    }
+
+    #[test]
+    fn output_looks_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
+        // 64000 bits, expect ~32000 set; allow wide tolerance.
+        assert!((30_000..34_000).contains(&ones), "ones={ones}");
+    }
+}
