@@ -38,7 +38,7 @@ fn main() {
         let mut tx = LinkTx::new(4);
         let flit = Flit::new(FlitKind::Single, 7, FlitMeta::new(0, Cycle::ZERO, 0));
         b.iter(|| {
-            let sent = tx.transmit(Some(black_box(flit.clone()))).expect("ready");
+            let sent = tx.transmit(Some(black_box(flit))).expect("ready");
             tx.process(Some(AckNack {
                 seq: sent.seq,
                 ack: true,

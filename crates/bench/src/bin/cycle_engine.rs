@@ -1,0 +1,131 @@
+//! Cycle-engine throughput benchmark entry point.
+//!
+//! Measures simulation-engine speed (cycles/sec, flits/sec) on the
+//! reference 4x4-mesh uniform-random and hotspot workloads and writes
+//! the machine-readable report (default `BENCH_cycle_engine.json`, i.e.
+//! the repo root when run from there). With `--check PATH` it compares
+//! the fresh measurement against a previously recorded report and exits
+//! nonzero on a throughput regression beyond the tolerance, so CI can
+//! gate on it.
+//!
+//! ```text
+//! cycle_engine --cycles 200000
+//! cycle_engine --cycles 50000 --check BENCH_cycle_engine.json --tolerance 0.2
+//! ```
+
+use std::process::ExitCode;
+
+use xpipes_bench::cycle_engine::{
+    parse_cycles_per_sec, report_json, run_workload, Workload, DEFAULT_CYCLES,
+};
+
+struct Args {
+    cycles: u64,
+    out: String,
+    check: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cycles: DEFAULT_CYCLES,
+        out: "BENCH_cycle_engine.json".to_string(),
+        check: None,
+        tolerance: 0.2,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--cycles" => {
+                args.cycles = value("--cycles")?
+                    .parse()
+                    .map_err(|e| format!("bad --cycles: {e}"))?;
+            }
+            "--out" => args.out = value("--out")?,
+            "--check" => args.check = Some(value("--check")?),
+            "--tolerance" => {
+                args.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("bad --tolerance: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: cycle_engine [--cycles N] [--out PATH] \
+                     [--check BASELINE.json] [--tolerance F]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let workloads = [Workload::UniformRandom, Workload::Hotspot];
+    let mut results = Vec::new();
+    for w in workloads {
+        match run_workload(w, args.cycles) {
+            Ok(r) => {
+                println!(
+                    "{:<20} {:>12.0} cycles/s  {:>12.0} flits/s  ({} cycles in {:.3}s)",
+                    r.name, r.cycles_per_sec, r.flits_per_sec, r.cycles, r.elapsed_s
+                );
+                results.push(r);
+            }
+            Err(e) => {
+                eprintln!("error: workload {} failed: {e}", w.name());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = report_json(&results).render();
+    if let Err(e) = std::fs::write(&args.out, &report) {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    println!("report written to {}", args.out);
+    if let Some(path) = args.check {
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read baseline {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut regressed = false;
+        for r in &results {
+            let Some(base) = parse_cycles_per_sec(&baseline, r.name) else {
+                eprintln!("warning: baseline has no entry for {}", r.name);
+                continue;
+            };
+            let floor = base * (1.0 - args.tolerance);
+            let status = if r.cycles_per_sec < floor {
+                regressed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "check {:<20} baseline {:>12.0}  current {:>12.0}  floor {:>12.0}  {status}",
+                r.name, base, r.cycles_per_sec, floor
+            );
+        }
+        if regressed {
+            eprintln!(
+                "error: throughput regressed more than {:.0}%",
+                args.tolerance * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

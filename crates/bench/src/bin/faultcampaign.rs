@@ -5,15 +5,20 @@
 //! machine-readable JSON report. Exits nonzero when any grid point
 //! violates an invariant or fails to drain, so CI can gate on it.
 //!
+//! Grid points fan out across threads (`--jobs`, default: host
+//! parallelism); reports are byte-identical to a serial run for the
+//! same seed.
+//!
 //! ```text
 //! faultcampaign --faults all --cycles 20000 --seed 7
 //! faultcampaign --faults ack-loss,output-stall --rates 0.01,0.05 --out report.json
+//! faultcampaign --jobs 1   # force serial execution
 //! ```
 
 use std::process::ExitCode;
 
 use xpipes_sim::FaultKind;
-use xpipes_traffic::faultcampaign::{campaign_spec, run_campaign, CampaignConfig};
+use xpipes_traffic::faultcampaign::{campaign_spec, run_campaign_parallel, CampaignConfig};
 
 struct Args {
     faults: Vec<FaultKind>,
@@ -21,6 +26,7 @@ struct Args {
     seed: u64,
     rates: Option<Vec<f64>>,
     out: Option<String>,
+    jobs: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 7,
         rates: None,
         out: None,
+        jobs: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -72,10 +79,15 @@ fn parse_args() -> Result<Args, String> {
                 args.rates = Some(rates);
             }
             "--out" => args.out = Some(value("--out")?),
+            "--jobs" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: faultcampaign [--faults all|NAME,..] [--cycles N] \
-                     [--seed N] [--rates R,..] [--out PATH]\n\
+                     [--seed N] [--rates R,..] [--out PATH] [--jobs N]\n\
                      fault models: {}",
                     FaultKind::ALL.map(|k| k.name()).join(", ")
                 );
@@ -99,7 +111,7 @@ fn main() -> ExitCode {
     if let Some(rates) = args.rates {
         cfg.error_rates = rates;
     }
-    let report = match run_campaign(&campaign_spec(), &args.faults, &cfg) {
+    let report = match run_campaign_parallel(&campaign_spec(), &args.faults, &cfg, args.jobs) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: campaign failed to assemble: {e}");

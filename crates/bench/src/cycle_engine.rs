@@ -1,0 +1,235 @@
+//! Cycle-engine throughput benchmark.
+//!
+//! Measures how fast the simulation engine itself runs — cycles per
+//! wall-clock second and flits routed per second — on two reference
+//! workloads: a 4x4 mesh under uniform-random traffic and the same mesh
+//! under hotspot traffic. The workloads are fully seeded, so the *work*
+//! (packets injected, flits routed, cycles simulated) is identical across
+//! engine versions; only the wall-clock changes. This is the perf
+//! baseline future engine changes are judged against: the `cycle_engine`
+//! binary writes `BENCH_cycle_engine.json` at the repo root recording
+//! both the checked-in pre-overhaul reference numbers and the current
+//! measurement.
+
+use std::time::Instant;
+
+use xpipes::noc::Noc;
+use xpipes::XpipesError;
+use xpipes_sim::Json;
+use xpipes_topology::builders::mesh;
+use xpipes_topology::spec::NocSpec;
+use xpipes_traffic::generator::{Injector, InjectorConfig};
+use xpipes_traffic::pattern::Pattern;
+
+/// Seed shared by every reference workload.
+pub const BENCH_SEED: u64 = 42;
+
+/// Injection rate (packets per cycle per initiator) of the reference
+/// workloads: light enough that the network never saturates, so the
+/// engine spends most cycles in the common lightly-loaded regime.
+pub const BENCH_RATE: f64 = 0.05;
+
+/// Default measured cycles per workload.
+pub const DEFAULT_CYCLES: u64 = 200_000;
+
+/// Pre-overhaul engine throughput on the reference host (cycles/sec),
+/// measured at the commit before the hot-path overhaul with this exact
+/// harness. Kept so the report always records the pre/post pair the
+/// overhaul is judged against.
+pub const PRE_PR_UNIFORM_CYCLES_PER_SEC: f64 = 145_538.0;
+/// Pre-overhaul hotspot throughput (cycles/sec) on the reference host.
+pub const PRE_PR_HOTSPOT_CYCLES_PER_SEC: f64 = 144_953.0;
+
+/// The reference 4x4 mesh: four initiators along the top row, four
+/// targets along the bottom row, each target owning a 1 MiB window.
+pub fn reference_spec() -> NocSpec {
+    let mut b = mesh(4, 4).expect("4x4 mesh is valid");
+    for i in 0..4 {
+        b.attach_initiator(format!("cpu{i}"), (i, 0))
+            .expect("free port");
+    }
+    let mut targets = Vec::new();
+    for i in 0..4 {
+        targets.push(b.attach_target(format!("m{i}"), (i, 3)).expect("free port"));
+    }
+    let mut spec = NocSpec::new("cycle-engine-4x4", b.into_topology());
+    for (i, t) in targets.into_iter().enumerate() {
+        spec.map_address(t, (i as u64) << 20, 1 << 20)
+            .expect("window fits");
+    }
+    spec
+}
+
+/// The two reference workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Uniform-random destinations.
+    UniformRandom,
+    /// 50% of traffic aimed at target 0, rest uniform.
+    Hotspot,
+}
+
+impl Workload {
+    /// Stable machine-readable name (JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::UniformRandom => "uniform_random_4x4",
+            Workload::Hotspot => "hotspot_4x4",
+        }
+    }
+
+    fn pattern(self) -> Pattern {
+        match self {
+            Workload::UniformRandom => Pattern::Uniform,
+            Workload::Hotspot => Pattern::Hotspot {
+                target: 0,
+                fraction: 0.5,
+            },
+        }
+    }
+}
+
+/// One measured workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadResult {
+    /// Workload name.
+    pub name: &'static str,
+    /// Total cycles simulated (injection + drain).
+    pub cycles: u64,
+    /// Wall-clock seconds.
+    pub elapsed_s: f64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Flits moved through switch crossbars per wall-clock second.
+    pub flits_per_sec: f64,
+    /// Flits routed (work fingerprint: must not change across engine
+    /// versions for the same seed).
+    pub flits_routed: u64,
+    /// Packets delivered end to end (work fingerprint).
+    pub packets_delivered: u64,
+}
+
+/// Runs one reference workload for `cycles` injection cycles plus drain,
+/// timing the whole simulation.
+///
+/// # Errors
+///
+/// Propagates network-assembly failures.
+pub fn run_workload(workload: Workload, cycles: u64) -> Result<WorkloadResult, XpipesError> {
+    let spec = reference_spec();
+    let mut noc = Noc::with_seed(&spec, BENCH_SEED)?;
+    let mut inj = Injector::new(
+        &spec,
+        InjectorConfig::new(BENCH_RATE, workload.pattern()),
+        BENCH_SEED ^ 0x5EED,
+    )?;
+    let start = Instant::now();
+    inj.run(&mut noc, cycles);
+    noc.run_until_idle(cycles / 2);
+    let elapsed = start.elapsed().as_secs_f64();
+    inj.drain_responses(&mut noc);
+    let stats = noc.stats();
+    let total_cycles = stats.cycles;
+    Ok(WorkloadResult {
+        name: workload.name(),
+        cycles: total_cycles,
+        elapsed_s: elapsed,
+        cycles_per_sec: total_cycles as f64 / elapsed,
+        flits_per_sec: stats.flits_routed as f64 / elapsed,
+        flits_routed: stats.flits_routed,
+        packets_delivered: stats.packets_delivered,
+    })
+}
+
+/// Renders the benchmark report: the current measurements next to the
+/// checked-in pre-overhaul reference numbers.
+pub fn report_json(results: &[WorkloadResult]) -> Json {
+    let mut workloads = Vec::new();
+    for r in results {
+        let pre = match r.name {
+            "uniform_random_4x4" => PRE_PR_UNIFORM_CYCLES_PER_SEC,
+            "hotspot_4x4" => PRE_PR_HOTSPOT_CYCLES_PER_SEC,
+            _ => 0.0,
+        };
+        let speedup = if pre > 0.0 {
+            r.cycles_per_sec / pre
+        } else {
+            0.0
+        };
+        workloads.push(
+            Json::object()
+                .field("name", Json::str(r.name))
+                .field("cycles", Json::UInt(r.cycles))
+                .field("elapsed_s", Json::Fixed(r.elapsed_s, 4))
+                .field("cycles_per_sec", Json::Fixed(r.cycles_per_sec, 0))
+                .field("flits_per_sec", Json::Fixed(r.flits_per_sec, 0))
+                .field("flits_routed", Json::UInt(r.flits_routed))
+                .field("packets_delivered", Json::UInt(r.packets_delivered))
+                .field("pre_pr_cycles_per_sec", Json::Fixed(pre, 0))
+                .field("speedup_vs_pre_pr", Json::Fixed(speedup, 2))
+                .build(),
+        );
+    }
+    Json::object()
+        .field("bench", Json::str("cycle_engine"))
+        .field("seed", Json::UInt(BENCH_SEED))
+        .field("injection_rate", Json::Fixed(BENCH_RATE, 3))
+        .field("workloads", Json::Array(workloads))
+        .build()
+}
+
+/// Extracts `"cycles_per_sec"` for a named workload from a rendered
+/// report (the minimal parsing the CI regression gate needs; the report
+/// format is owned by [`report_json`], so positional scanning is safe).
+pub fn parse_cycles_per_sec(report: &str, workload: &str) -> Option<f64> {
+    let name_pos = report.find(&format!("\"name\": \"{workload}\""))?;
+    let rest = &report[name_pos..];
+    let key_pos = rest.find("\"cycles_per_sec\":")?;
+    let after = rest[key_pos + "\"cycles_per_sec\":".len()..].trim_start();
+    let end = after
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(after.len());
+    after[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_runs_and_delivers() {
+        let r = run_workload(Workload::UniformRandom, 3000).unwrap();
+        assert!(r.packets_delivered > 0);
+        assert!(r.flits_routed > 0);
+        assert!(r.cycles >= 3000);
+        assert!(r.cycles_per_sec > 0.0);
+    }
+
+    #[test]
+    fn workloads_are_deterministic_work() {
+        let a = run_workload(Workload::Hotspot, 2000).unwrap();
+        let b = run_workload(Workload::Hotspot, 2000).unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.flits_routed, b.flits_routed);
+        assert_eq!(a.packets_delivered, b.packets_delivered);
+    }
+
+    #[test]
+    fn report_round_trips_through_parser() {
+        let r = WorkloadResult {
+            name: "uniform_random_4x4",
+            cycles: 1000,
+            elapsed_s: 0.5,
+            cycles_per_sec: 123456.0,
+            flits_per_sec: 789.0,
+            flits_routed: 400,
+            packets_delivered: 20,
+        };
+        let text = report_json(&[r]).render();
+        assert_eq!(
+            parse_cycles_per_sec(&text, "uniform_random_4x4"),
+            Some(123456.0)
+        );
+        assert_eq!(parse_cycles_per_sec(&text, "missing"), None);
+    }
+}

@@ -16,7 +16,7 @@ use xpipes_topology::builders::mesh;
 use xpipes_topology::spec::{Arbitration, NocSpec};
 use xpipes_topology::{NiId, NiKind};
 use xpipes_traffic::pattern::Pattern;
-use xpipes_traffic::runner::{sweep, LoadPoint};
+use xpipes_traffic::runner::{sweep_parallel, LoadPoint};
 
 /// The paper's flit-width sweep.
 pub const FLIT_WIDTHS: [u32; 4] = [16, 32, 64, 128];
@@ -371,14 +371,15 @@ pub fn eval_mesh(k: usize) -> Result<NocSpec, XpipesError> {
     Ok(spec)
 }
 
-/// P1: load–latency curve on a 4x4 mesh.
+/// P1: load–latency curve on a 4x4 mesh. Operating points run on the
+/// deterministic work pool; results match a serial sweep exactly.
 ///
 /// # Errors
 ///
 /// Propagates network construction failures.
 pub fn load_latency(pattern: Pattern, rates: &[f64]) -> Result<Vec<LoadPoint>, XpipesError> {
     let spec = eval_mesh(4)?;
-    sweep(&spec, pattern, rates, 1000, 6000, 0xBEEF)
+    sweep_parallel(&spec, pattern, rates, 1000, 6000, 0xBEEF)
 }
 
 // ---------------------------------------------------------------- A1

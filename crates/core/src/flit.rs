@@ -11,7 +11,7 @@ use std::fmt;
 
 use xpipes_sim::Cycle;
 
-use crate::header::Header;
+use crate::header::{Header, PackedHeader};
 
 /// Position of a flit within its packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,14 +83,15 @@ impl FlitMeta {
 /// let flit = Flit::new(FlitKind::Single, 0xAB, FlitMeta::new(1, Cycle::ZERO, 0));
 /// assert!(flit.kind.is_head() && flit.kind.is_tail());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Flit {
     /// Position within the packet.
     pub kind: FlitKind,
     /// Raw flit bits (up to 128).
     pub bits: u128,
-    /// Decoded header mirror; present on head flits only.
-    pub header: Option<Header>,
+    /// Packed header mirror; present on head flits only. The packed form
+    /// keeps `Flit` a compact `Copy` value; see [`PackedHeader`].
+    pub header: Option<PackedHeader>,
     /// Simulation bookkeeping.
     pub meta: FlitMeta,
 }
@@ -106,15 +107,20 @@ impl Flit {
         }
     }
 
-    /// Creates a head flit carrying the decoded header mirror.
+    /// Creates a head flit carrying the header mirror (packed on board).
     pub fn head(kind: FlitKind, bits: u128, header: Header, meta: FlitMeta) -> Self {
         debug_assert!(kind.is_head(), "header mirror belongs on head flits");
         Flit {
             kind,
             bits,
-            header: Some(header),
+            header: Some(header.packed()),
             meta,
         }
+    }
+
+    /// Decoded view of the header mirror, when present.
+    pub fn decoded_header(&self) -> Option<Header> {
+        self.header.map(PackedHeader::unpack)
     }
 
     /// Masks `bits` to `width` bits (models the physical wire width).

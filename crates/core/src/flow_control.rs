@@ -38,7 +38,7 @@ pub fn seq_next(seq: u8) -> u8 {
 
 /// A flit in flight on a link: payload + sequence number + the corruption
 /// flag the link's error injector may set (models a failed CRC check).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkFlit {
     /// The flit payload.
     pub flit: Flit,
@@ -260,7 +260,7 @@ impl LinkTx {
         }
         if let Some(idx) = self.resend {
             assert!(new.is_none(), "cannot inject a new flit during a rewind");
-            let (seq, flit) = self.window[idx].clone();
+            let (seq, flit) = self.window[idx];
             self.resend = if idx + 1 < self.window.len() {
                 Some(idx + 1)
             } else {
@@ -280,7 +280,7 @@ impl LinkTx {
         if self.sabotage != Some(FlowSabotage::ReuseSequence) {
             self.next_seq = seq_next(seq);
         }
-        self.window.push_back((seq, flit.clone()));
+        self.window.push_back((seq, flit));
         self.sent += 1;
         Some(LinkFlit {
             flit,

@@ -24,6 +24,7 @@
 //! register small as in the original RTL.
 
 use std::fmt;
+use std::num::NonZeroU64;
 
 use xpipes_ocp::{BurstSeq, MCmd, SResp, Sideband, ThreadId};
 use xpipes_topology::route::{SourceRoute, MAX_HOPS};
@@ -314,6 +315,81 @@ impl Header {
         self.hop_len = self.hop_len.saturating_sub(1);
         (port, self)
     }
+
+    /// Packs into the compact register image carried on head flits.
+    pub fn packed(&self) -> PackedHeader {
+        PackedHeader::pack(*self)
+    }
+}
+
+/// The 63-bit header register image in its packed wire form.
+///
+/// Head flits carry this instead of the decoded [`Header`] mirror: it is
+/// one word, `Copy`, and — because the `msg` field encodes to 1..=7 —
+/// never zero, so `Option<PackedHeader>` costs no extra space (niche
+/// optimisation). Switches route and consume hops directly on the packed
+/// bits; [`PackedHeader::unpack`] recovers the decoded view when a field
+/// beyond the route is needed.
+///
+/// # Examples
+///
+/// ```
+/// use xpipes::header::Header;
+/// use xpipes_ocp::{MCmd, ThreadId, Sideband};
+/// use xpipes_topology::route::SourceRoute;
+/// use xpipes_topology::PortId;
+///
+/// # fn main() -> Result<(), xpipes::XpipesError> {
+/// let route = SourceRoute::new(vec![PortId(3), PortId(1)]).expect("valid");
+/// let h = Header::request(&route, 0, MCmd::Read, 1, ThreadId(0), 0, Sideband::NONE)?;
+/// let p = h.packed();
+/// assert_eq!(p.next_hop(), 3);
+/// assert_eq!(p.consume_route().next_hop(), 1);
+/// assert_eq!(p.unpack(), h);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PackedHeader(NonZeroU64);
+
+impl PackedHeader {
+    /// Packs a decoded header. Infallible: a constructed [`Header`] always
+    /// encodes to a nonzero image (its `msg` field is 1..=7).
+    pub fn pack(header: Header) -> Self {
+        PackedHeader(NonZeroU64::new(header.encode()).expect("msg field keeps the image nonzero"))
+    }
+
+    /// The raw 63-bit register image.
+    pub fn bits(self) -> u64 {
+        self.0.get()
+    }
+
+    /// Recovers the decoded header view.
+    pub fn unpack(self) -> Header {
+        Header::decode(self.0.get()).expect("packed header is valid by construction")
+    }
+
+    /// The output port the route's current hop selects.
+    pub fn next_hop(self) -> u8 {
+        (self.0.get() & 0xF) as u8
+    }
+
+    /// Remaining hops in the route.
+    pub fn hop_len(self) -> u8 {
+        ((self.0.get() >> 28) & 0x7) as u8
+    }
+
+    /// Route consumption on the packed bits: shifts the route down one hop
+    /// and decrements `hop_len`, without a decode/re-encode round trip.
+    #[must_use]
+    pub fn consume_route(self) -> PackedHeader {
+        let bits = self.0.get();
+        let route = bits & 0xFFF_FFFF;
+        let hop_len = (bits >> 28) & 0x7;
+        let rest = bits & !0x7FFF_FFFF;
+        let next = rest | (route >> 4) | (hop_len.saturating_sub(1) << 28);
+        PackedHeader(NonZeroU64::new(next).expect("msg field keeps the image nonzero"))
+    }
 }
 
 #[cfg(test)]
@@ -447,6 +523,39 @@ mod tests {
         let d = Header::decode(h.encode()).unwrap();
         assert!(d.sideband.interrupt);
         assert_eq!(d.sideband.flags, 0b0101);
+    }
+
+    #[test]
+    fn packed_roundtrip_and_route_consumption() {
+        let h = Header::request(
+            &route(&[5, 2, 7]),
+            9,
+            MCmd::Write,
+            4,
+            ThreadId(1),
+            6,
+            Sideband::NONE,
+        )
+        .unwrap();
+        let p = h.packed();
+        assert_eq!(p.bits(), h.encode());
+        assert_eq!(p.unpack(), h);
+        assert_eq!(p.next_hop(), 5);
+        assert_eq!(p.hop_len(), 3);
+
+        // Packed consumption must match the decoded path hop by hop.
+        let mut packed = p;
+        let mut decoded = h;
+        for _ in 0..3 {
+            let (port, next) = decoded.consume_route();
+            assert_eq!(packed.next_hop(), port);
+            packed = packed.consume_route();
+            decoded = next;
+            assert_eq!(packed.unpack(), decoded);
+        }
+        assert_eq!(packed.hop_len(), 0);
+        // Saturates at zero like the decoded path.
+        assert_eq!(packed.consume_route().unpack(), decoded.consume_route().1);
     }
 
     #[test]

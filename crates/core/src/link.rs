@@ -53,6 +53,9 @@ pub struct Link {
     rev_dropped: u64,
     rev_corrupted: u64,
     burst_remaining: u32,
+    /// Occupied slots across both pipes, maintained incrementally so the
+    /// network's activity fast path can test emptiness in O(1).
+    occupied: usize,
 }
 
 impl Link {
@@ -83,7 +86,13 @@ impl Link {
             rev_dropped: 0,
             rev_corrupted: 0,
             burst_remaining: 0,
+            occupied: 0,
         }
+    }
+
+    /// True when neither pipe holds a flit or ACK/nACK message. O(1).
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
     }
 
     /// Pipeline depth in cycles.
@@ -148,10 +157,21 @@ impl Link {
             }
             Some(an)
         });
+        if self.fwd.is_empty() {
+            // Single-stage link: zero interior slots, the pipes are pure
+            // pass-throughs. Skip the queue traffic (the common case on
+            // mesh links, which default to one pipeline stage).
+            if fwd_in.is_some() {
+                self.traversals += 1;
+            }
+            return (fwd_in, rev_in);
+        }
+        self.occupied += fwd_in.is_some() as usize + rev_in.is_some() as usize;
         self.fwd.push_back(fwd_in);
         self.rev.push_back(rev_in);
         let fwd_out = self.fwd.pop_front().expect("pipe never empty");
         let rev_out = self.rev.pop_front().expect("pipe never empty");
+        self.occupied -= fwd_out.is_some() as usize + rev_out.is_some() as usize;
         if fwd_out.is_some() {
             self.traversals += 1;
         }

@@ -193,7 +193,7 @@ impl ProtocolMonitor {
     pub fn note_transmit(&mut self, ch: usize, seq: u8, flit: &Flit, cycle: u64) {
         let chan = &mut self.chans[ch];
         if seq == chan.expected_new_seq {
-            chan.pending.push_back((seq, flit.clone()));
+            chan.pending.push_back((seq, *flit));
             chan.expected_new_seq = seq_next(seq);
             chan.noted_new += 1;
             chan.last_progress = cycle;
@@ -235,7 +235,7 @@ impl ProtocolMonitor {
             Some((seq, expected)) => {
                 // Remember the delivery for the receiver's 32-sequence
                 // duplicate-detection span (SEQ_MOD / 2).
-                chan.delivered.push_back((seq, flit.clone()));
+                chan.delivered.push_back((seq, *flit));
                 while chan.delivered.len() > 32 {
                     chan.delivered.pop_front();
                 }

@@ -81,6 +81,12 @@ impl NiPort {
     fn is_idle(&self) -> bool {
         self.out_queue.is_empty() && self.tx.in_flight() == 0 && self.rx_buf.is_empty()
     }
+
+    /// True when the transmit side has work this cycle: queued flits or
+    /// unacknowledged flits that may need resending / timeout ticking.
+    fn tx_pending(&self) -> bool {
+        !self.out_queue.is_empty() || self.tx.in_flight() > 0
+    }
 }
 
 /// A transaction awaiting its response at the initiator.
@@ -202,6 +208,12 @@ impl InitiatorNi {
     /// True when nothing is queued, in flight or outstanding.
     pub fn is_idle(&self) -> bool {
         self.port.is_idle() && self.outstanding.is_empty() && self.backlog.is_empty()
+    }
+
+    /// True when the network port's transmit side has pending work
+    /// (activity fast-path probe).
+    pub fn link_busy(&self) -> bool {
+        self.port.tx_pending()
     }
 
     /// The ACK/nACK sender on the network port.
@@ -420,6 +432,12 @@ impl TargetNi {
     /// True when nothing is queued or in flight.
     pub fn is_idle(&self) -> bool {
         self.port.is_idle() && self.scheduled.is_empty()
+    }
+
+    /// True when the network port's transmit side has pending work
+    /// (activity fast-path probe).
+    pub fn link_busy(&self) -> bool {
+        self.port.tx_pending()
     }
 
     /// The ACK/nACK sender on the network port.

@@ -134,7 +134,32 @@ pub struct Noc {
     /// stalls), kept separate from the per-link streams so enabling one
     /// fault model never perturbs another.
     fault_rng: SimRng,
+    /// Hoisted from the plan at assembly: fault-free runs never enter the
+    /// per-cycle stall loop, so they never touch `fault_rng`.
+    stall_faults: bool,
     monitor: Option<ProtocolMonitor>,
+    /// Per-channel activity flags for the step fast path: `false` means
+    /// every phase of [`step`](Self::step) is provably a no-op for the
+    /// channel this cycle (empty link, empty latches, no producer work).
+    chan_active: Vec<bool>,
+    /// Per-switch flag: crossbar/allocation may act (an input register or
+    /// delay slot holds a flit).
+    sw_active: Vec<bool>,
+    /// Channel produced by each initiator NI (dense index), so `submit`
+    /// can update the activity flags incrementally instead of forcing a
+    /// full refresh.
+    initiator_chan: Vec<usize>,
+    /// Channel produced by each target NI (dense index), for
+    /// `raise_interrupt`.
+    target_chan: Vec<usize>,
+    /// Number of idle blockers (non-idle components + occupied forward
+    /// latches) at the last activity refresh: [`is_idle`](Self::is_idle)
+    /// is O(1) while the flags are valid.
+    idle_blockers: usize,
+    /// Activity flags coherent with the current state. Invalidated by any
+    /// out-of-band work injection (submit, interrupts) and by slow-path
+    /// steps; re-established at the end of every fast-path step.
+    flags_valid: bool,
 }
 
 impl Noc {
@@ -284,6 +309,17 @@ impl Noc {
             channels.push(mkchannel(sw_ep, ni_ep, 1));
         }
 
+        let chan_active = vec![false; channels.len()];
+        let sw_active = vec![false; switches.len()];
+        let mut initiator_chan = vec![usize::MAX; initiators.len()];
+        let mut target_chan = vec![usize::MAX; targets.len()];
+        for (i, ch) in channels.iter().enumerate() {
+            match ch.producer {
+                Endpoint::Initiator(idx) => initiator_chan[idx] = i,
+                Endpoint::Target(idx) => target_chan[idx] = i,
+                Endpoint::SwitchPort { .. } => {}
+            }
+        }
         Ok(Noc {
             switches,
             initiators,
@@ -294,11 +330,18 @@ impl Noc {
             now: Cycle::ZERO,
             name: spec.name.clone(),
             trace: None,
+            stall_faults: faults.stall_rate > 0.0,
             faults,
             // Stream 0 is never handed to a link (their streams start at
             // 1), so stall injection never disturbs link error draws.
             fault_rng: master_rng.child(0),
             monitor: None,
+            chan_active,
+            sw_active,
+            initiator_chan,
+            target_chan,
+            idle_blockers: 0,
+            flags_valid: false,
         })
     }
 
@@ -343,7 +386,18 @@ impl Noc {
             .initiator_index
             .get(&ni)
             .ok_or_else(|| self.classify_unknown(ni))?;
-        self.initiators[idx].submit(req, self.now)
+        // Incremental activity update: a submit touches exactly one NI and
+        // its producer channel, so the flags stay valid without a full
+        // refresh (important — injectors submit mid-run every few cycles).
+        let was_idle = self.flags_valid && self.initiators[idx].is_idle();
+        let result = self.initiators[idx].submit(req, self.now);
+        if result.is_ok() && self.flags_valid {
+            if was_idle && !self.initiators[idx].is_idle() {
+                self.idle_blockers += 1;
+            }
+            self.chan_active[self.initiator_chan[idx]] = true;
+        }
+        result
     }
 
     /// Collects a completed response at an initiator NI.
@@ -416,7 +470,15 @@ impl Noc {
             .target_index
             .get(&target)
             .ok_or_else(|| self.classify_unknown_t(target))?;
-        self.targets[idx].raise_interrupt(initiator, self.now)
+        let was_idle = self.flags_valid && self.targets[idx].is_idle();
+        let result = self.targets[idx].raise_interrupt(initiator, self.now);
+        if result.is_ok() && self.flags_valid {
+            if was_idle && !self.targets[idx].is_idle() {
+                self.idle_blockers += 1;
+            }
+            self.chan_active[self.target_chan[idx]] = true;
+        }
+        result
     }
 
     /// Pending sideband interrupts at an initiator NI.
@@ -531,6 +593,7 @@ impl Noc {
     /// network (switch output ports and NI network ports). Conformance
     /// hook: a sabotaged network must trip the protocol monitor.
     pub fn sabotage_all_senders(&mut self, mode: FlowSabotage) {
+        self.flags_valid = false;
         for sw in &mut self.switches {
             for p in 0..sw.config().outputs {
                 sw.link_tx_mut(p).sabotage(mode);
@@ -544,15 +607,74 @@ impl Noc {
         }
     }
 
+    /// True when the current step can use the activity fast path: no
+    /// observer needs per-channel events (trace, monitor) and no
+    /// network-level fault injection runs between phases. Under these
+    /// conditions every phase is a pure function of per-channel state, so
+    /// provably-inert channels and switches can be skipped without
+    /// changing behaviour or any RNG stream.
+    fn fast_path(&self) -> bool {
+        self.trace.is_none() && self.monitor.is_none() && !self.stall_faults
+    }
+
+    /// Recomputes the per-channel / per-switch activity flags and the
+    /// O(1) idle-blocker count from current state. A channel is flagged
+    /// inactive only when *every* step phase is a no-op for it: latches
+    /// and pending arrivals empty, link pipes empty, and the producer has
+    /// nothing to transmit (an open retransmission window counts as work —
+    /// it must keep ticking the ACK timeout).
+    fn refresh_activity(&mut self) {
+        let mut blockers = 0usize;
+        for (sw, active) in self.switches.iter().zip(self.sw_active.iter_mut()) {
+            let (input_act, idle) = sw.activity();
+            *active = input_act;
+            blockers += usize::from(!idle);
+        }
+        for ni in &self.initiators {
+            blockers += usize::from(!ni.is_idle());
+        }
+        for ni in &self.targets {
+            blockers += usize::from(!ni.is_idle());
+        }
+        let switches = &self.switches;
+        let initiators = &self.initiators;
+        let targets = &self.targets;
+        for (ch, active) in self.channels.iter().zip(self.chan_active.iter_mut()) {
+            blockers += usize::from(ch.fwd_latch.is_some() || ch.fwd_arrival.is_some());
+            *active = ch.fwd_latch.is_some()
+                || ch.rev_latch.is_some()
+                || ch.fwd_arrival.is_some()
+                || ch.rev_arrival.is_some()
+                || !ch.link.is_empty()
+                || match ch.producer {
+                    Endpoint::SwitchPort { switch, port } => switches[switch].output_pending(port),
+                    Endpoint::Initiator(idx) => initiators[idx].link_busy(),
+                    Endpoint::Target(idx) => targets[idx].link_busy(),
+                };
+        }
+        self.idle_blockers = blockers;
+        self.flags_valid = true;
+    }
+
     /// Advances the network one clock cycle.
     pub fn step(&mut self) {
+        let fast = self.fast_path();
+        if fast && !self.flags_valid {
+            self.refresh_activity();
+        }
+        // `skip` holds only while the flags are valid; every skipped
+        // channel/switch is then provably inert for this whole cycle.
+        let skip = fast && self.flags_valid;
         // The monitor is moved out for the duration of the step so its
         // `note_*` calls can run between mutable component accesses.
         let mut monitor = self.monitor.take();
         let cycle = self.now.as_u64();
 
         // Phase 1: links shift.
-        for ch in &mut self.channels {
+        for (ch, &active) in self.channels.iter_mut().zip(self.chan_active.iter()) {
+            if skip && !active {
+                continue;
+            }
             let (fwd, rev) = ch.link.shift(ch.fwd_latch.take(), ch.rev_latch.take());
             ch.fwd_arrival = fwd;
             ch.rev_arrival = rev;
@@ -567,8 +689,10 @@ impl Noc {
                 trace.vcd.change(self.now, trace.packet[i], pkt);
             }
         }
-        // Fault injection: transient backpressure at switch outputs.
-        if self.faults.stall_rate > 0.0 {
+        // Fault injection: transient backpressure at switch outputs. The
+        // guard keeps fault-free runs off `fault_rng` entirely, so their
+        // RNG streams are bit-identical whether or not a plan is armed.
+        if self.stall_faults {
             for s in 0..self.switches.len() {
                 for p in 0..self.switches[s].config().outputs {
                     if self.fault_rng.chance(self.faults.stall_rate) {
@@ -578,47 +702,87 @@ impl Noc {
             }
         }
         // Phase 2: producers transmit (consume reverse arrivals).
-        for i in 0..self.channels.len() {
-            let rev = self.channels[i].rev_arrival.take();
-            let producer = self.channels[i].producer;
-            let out = match producer {
-                Endpoint::SwitchPort { switch, port } => self.switches[switch].transmit(port, rev),
-                Endpoint::Initiator(idx) => self.initiators[idx].transmit(rev),
-                Endpoint::Target(idx) => self.targets[idx].transmit(rev),
-            };
-            if let (Some(m), Some(lf)) = (monitor.as_mut(), &out) {
-                m.note_transmit(i, lf.seq, &lf.flit, cycle);
+        {
+            let switches = &mut self.switches;
+            let initiators = &mut self.initiators;
+            let targets = &mut self.targets;
+            for (i, (ch, &active)) in self
+                .channels
+                .iter_mut()
+                .zip(self.chan_active.iter())
+                .enumerate()
+            {
+                if skip && !active {
+                    continue;
+                }
+                let rev = ch.rev_arrival.take();
+                let out = match ch.producer {
+                    Endpoint::SwitchPort { switch, port } => switches[switch].transmit(port, rev),
+                    Endpoint::Initiator(idx) => initiators[idx].transmit(rev),
+                    Endpoint::Target(idx) => targets[idx].transmit(rev),
+                };
+                if let (Some(m), Some(lf)) = (monitor.as_mut(), &out) {
+                    m.note_transmit(i, lf.seq, &lf.flit, cycle);
+                }
+                ch.fwd_latch = out;
             }
-            self.channels[i].fwd_latch = out;
         }
         // Phase 3: switch allocation + crossbar.
-        for sw in &mut self.switches {
+        for (sw, &active) in self.switches.iter_mut().zip(self.sw_active.iter()) {
+            if skip && !active {
+                continue;
+            }
             sw.crossbar();
         }
         // Phase 4: consumers receive (produce reverse replies).
-        for i in 0..self.channels.len() {
-            let fwd = self.channels[i].fwd_arrival.take();
-            let consumer = self.channels[i].consumer;
-            // An accept is visible as a bump of the receiver's counter;
-            // the accepted flit is then the arriving one.
-            let watched = monitor.as_ref().map(|_| fwd.clone());
-            let accepted_before = monitor
-                .as_ref()
-                .map(|_| self.consumer_rx(consumer).accepted());
-            let reply = match consumer {
-                Endpoint::SwitchPort { switch, port } => self.switches[switch].receive(port, fwd),
-                Endpoint::Initiator(idx) => self.initiators[idx].receive(fwd, self.now),
-                Endpoint::Target(idx) => self.targets[idx].receive(fwd, self.now),
-            };
-            if let Some(m) = monitor.as_mut() {
-                let accepted_now = self.consumer_rx(consumer).accepted();
-                if accepted_now > accepted_before.unwrap_or(0) {
-                    if let Some(Some(lf)) = watched {
-                        m.note_accept(i, &lf.flit, cycle);
+        {
+            let switches = &mut self.switches;
+            let initiators = &mut self.initiators;
+            let targets = &mut self.targets;
+            let now = self.now;
+            for (i, (ch, &active)) in self
+                .channels
+                .iter_mut()
+                .zip(self.chan_active.iter())
+                .enumerate()
+            {
+                if skip && !active {
+                    continue;
+                }
+                let fwd = ch.fwd_arrival.take();
+                let consumer = ch.consumer;
+                // An accept is visible as a bump of the receiver's counter;
+                // the accepted flit is then the arriving one (`fwd` is
+                // `Copy`, so watching it costs nothing and nothing is
+                // cloned).
+                let rx_accepted =
+                    |switches: &[Switch], initiators: &[InitiatorNi], targets: &[TargetNi]| {
+                        match consumer {
+                            Endpoint::SwitchPort { switch, port } => {
+                                switches[switch].link_rx(port).accepted()
+                            }
+                            Endpoint::Initiator(idx) => initiators[idx].link_rx().accepted(),
+                            Endpoint::Target(idx) => targets[idx].link_rx().accepted(),
+                        }
+                    };
+                let accepted_before = match monitor {
+                    Some(_) => rx_accepted(switches, initiators, targets),
+                    None => 0,
+                };
+                let reply = match consumer {
+                    Endpoint::SwitchPort { switch, port } => switches[switch].receive(port, fwd),
+                    Endpoint::Initiator(idx) => initiators[idx].receive(fwd, now),
+                    Endpoint::Target(idx) => targets[idx].receive(fwd, now),
+                };
+                if let Some(m) = monitor.as_mut() {
+                    if rx_accepted(switches, initiators, targets) > accepted_before {
+                        if let Some(lf) = fwd {
+                            m.note_accept(i, &lf.flit, cycle);
+                        }
                     }
                 }
+                ch.rev_latch = reply;
             }
-            self.channels[i].rev_latch = reply;
         }
         // Monitor: once-per-cycle endpoint invariants on every channel.
         if let Some(m) = monitor.as_mut() {
@@ -636,6 +800,14 @@ impl Noc {
             ni.tick(self.now);
         }
         self.monitor = monitor;
+        // Re-derive the flags for the next cycle (and the O(1) idle
+        // check). Slow-path steps leave them invalid: observers and fault
+        // injection do not pay the refresh cost.
+        if fast {
+            self.refresh_activity();
+        } else {
+            self.flags_valid = false;
+        }
         self.now = self.now.next();
     }
 
@@ -646,8 +818,29 @@ impl Noc {
         }
     }
 
-    /// True when no flit is buffered or in flight anywhere.
+    /// True when no flit is buffered or in flight anywhere. When the
+    /// activity flags are current (every fast-path step refreshes them)
+    /// this is an O(1) counter check instead of a full network scan.
     pub fn is_idle(&self) -> bool {
+        if self.flags_valid {
+            let idle = self.idle_blockers == 0;
+            debug_assert_eq!(idle, self.full_idle_scan(), "idle cache out of sync");
+            return idle;
+        }
+        self.full_idle_scan()
+    }
+
+    /// `(active, total)` channel counts from the last activity refresh,
+    /// or `None` while the flags are stale (slow-path steps, fresh
+    /// networks). Introspection for perf analysis and tests.
+    pub fn active_channels(&self) -> Option<(usize, usize)> {
+        self.flags_valid.then(|| {
+            let active = self.chan_active.iter().filter(|&&a| a).count();
+            (active, self.chan_active.len())
+        })
+    }
+
+    fn full_idle_scan(&self) -> bool {
         self.initiators.iter().all(InitiatorNi::is_idle)
             && self.targets.iter().all(TargetNi::is_idle)
             && self.switches.iter().all(Switch::is_idle)
@@ -685,17 +878,6 @@ impl Noc {
         for ni in &self.initiators {
             s.retransmissions += ni.link_tx().retransmissions();
             s.ack_timeouts += ni.link_tx().timeouts();
-        }
-        for ni in &self.targets {
-            s.retransmissions += ni.link_tx().retransmissions();
-            s.ack_timeouts += ni.link_tx().timeouts();
-        }
-        for ch in &self.channels {
-            s.flits_corrupted += ch.link.corrupted();
-            s.acks_dropped += ch.link.rev_dropped();
-            s.acks_corrupted += ch.link.rev_corrupted();
-        }
-        for ni in &self.initiators {
             let st = ni.stats();
             s.packets_sent += st.packets_sent;
             s.packets_delivered += st.packets_received;
@@ -703,10 +885,17 @@ impl Noc {
             s.latency_histogram.merge(&st.latency_hist);
         }
         for ni in &self.targets {
+            s.retransmissions += ni.link_tx().retransmissions();
+            s.ack_timeouts += ni.link_tx().timeouts();
             let st = ni.stats();
             s.packets_sent += st.packets_sent;
             s.packets_delivered += st.packets_received;
             s.request_latency.merge(&st.latency);
+        }
+        for ch in &self.channels {
+            s.flits_corrupted += ch.link.corrupted();
+            s.acks_dropped += ch.link.rev_dropped();
+            s.acks_corrupted += ch.link.rev_corrupted();
         }
         s
     }

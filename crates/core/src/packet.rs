@@ -129,7 +129,7 @@ pub fn packetize(
         flits[0].kind = FlitKind::Header;
         flits[last].kind = FlitKind::Tail;
     }
-    flits[0].header = Some(packet.header);
+    flits[0].header = Some(packet.header.packed());
     Ok(flits)
 }
 

@@ -147,6 +147,11 @@ pub struct Switch {
     arbiters: Vec<Arbiter>,
     /// Per output: input holding the wormhole lock.
     locks: Vec<Option<usize>>,
+    /// Crossbar scratch (length = inputs): requested output per input.
+    /// Reused every cycle so allocation stays off the hot path.
+    requested: Vec<Option<usize>>,
+    /// Crossbar scratch (length = inputs): request lines of one output.
+    requests: Vec<bool>,
     stats: SwitchStats,
 }
 
@@ -194,6 +199,8 @@ impl Switch {
             .collect();
         Switch {
             locks: vec![None; config.outputs],
+            requested: vec![None; config.inputs],
+            requests: vec![false; config.inputs],
             config,
             inputs,
             outputs,
@@ -258,6 +265,40 @@ impl Switch {
         self.outputs[port].queue.len()
     }
 
+    /// True when output `port` has pending transmit-side work: queued
+    /// flits, unacknowledged flits in the retransmission window (which may
+    /// need resending or must tick the ACK timeout), or a forced stall
+    /// still counting down. Used by the network's activity fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range port.
+    pub fn output_pending(&self, port: usize) -> bool {
+        let out = &self.outputs[port];
+        !out.queue.is_empty() || out.tx.in_flight() > 0 || out.stall > 0
+    }
+
+    /// True when any input register, delay slot, or wormhole lock holds
+    /// packet state, i.e. [`crossbar`](Self::crossbar) may act this cycle.
+    pub fn has_input_activity(&self) -> bool {
+        self.inputs
+            .iter()
+            .any(|i| i.reg.is_some() || i.delay.iter().any(Option::is_some))
+    }
+
+    /// One-pass combined activity probe for the network fast path:
+    /// `(input_activity, idle)` where `input_activity` matches
+    /// [`has_input_activity`](Self::has_input_activity) and `idle` matches
+    /// [`is_idle`](Self::is_idle), without scanning the ports twice.
+    pub fn activity(&self) -> (bool, bool) {
+        let input_act = self.has_input_activity();
+        let output_act = self
+            .outputs
+            .iter()
+            .any(|o| !o.queue.is_empty() || o.tx.in_flight() > 0);
+        (input_act, !input_act && !output_act)
+    }
+
     /// Stage-2 output side for one port: processes the reverse-channel
     /// arrival and returns the flit to drive onto the link this cycle.
     ///
@@ -285,57 +326,65 @@ impl Switch {
     /// flits through the crossbar into the output queues. Call once per
     /// cycle, after [`transmit`](Self::transmit) for all ports.
     pub fn crossbar(&mut self) {
-        // Resolve the requested output of every input holding a flit.
-        let mut requested: Vec<Option<usize>> = vec![None; self.config.inputs];
-        for (i, input) in self.inputs.iter().enumerate() {
-            let Some(flit) = &input.reg else { continue };
-            let port = if flit.kind.is_head() {
-                flit.header.as_ref().map(|h| (h.route & 0xF) as usize)
-            } else {
-                input.route_port
+        // Resolve the requested output of every input holding a flit
+        // (into per-instance scratch: the crossbar allocates nothing).
+        // `req_mask` collects the requested outputs so the allocation
+        // loop below visits only those instead of every output.
+        let mut req_mask: u64 = 0;
+        for (req, input) in self.requested.iter_mut().zip(&self.inputs) {
+            *req = match &input.reg {
+                Some(flit) if flit.kind.is_head() => flit.header.map(|h| h.next_hop() as usize),
+                Some(_) => input.route_port,
+                None => None,
             };
-            requested[i] = port;
+            if let Some(o) = *req {
+                if o < 64 {
+                    req_mask |= 1 << o;
+                }
+            }
         }
 
-        for o in 0..self.config.outputs {
+        while req_mask != 0 {
+            let o = req_mask.trailing_zeros() as usize;
+            req_mask &= req_mask - 1;
+            if o >= self.config.outputs {
+                // A corrupted route can request a nonexistent port; such
+                // requests never win (matches the dense scan, which only
+                // visited real outputs).
+                continue;
+            }
             let space = self.outputs[o].queue.len() < self.config.output_queue_depth;
-            let mut requests = vec![false; self.config.inputs];
-            let mut any = false;
             for i in 0..self.config.inputs {
-                if requested[i] == Some(o) {
+                self.requests[i] = false;
+                if self.requested[i] == Some(o) {
                     // Wormhole: locked outputs only accept the locking input.
                     let lock_ok = match self.locks[o] {
                         None => self.inputs[i].reg.as_ref().map(|f| f.kind.is_head()) == Some(true),
                         Some(owner) => owner == i,
                     };
                     if lock_ok {
-                        requests[i] = true;
+                        self.requests[i] = true;
                     }
-                    any = true;
                 }
-            }
-            if !any {
-                continue;
             }
             if !space {
                 self.stats.contention_stalls += 1;
                 continue;
             }
-            let Some(winner) = self.arbiters[o].grant(&requests) else {
+            let Some(winner) = self.arbiters[o].grant(&self.requests) else {
                 self.stats.contention_stalls += 1;
                 continue;
             };
-            if requests.iter().filter(|&&r| r).count() > 1 {
+            if self.requests.iter().filter(|&&r| r).count() > 1 {
                 self.stats.contention_stalls += 1;
             }
             // Move the winning flit through the crossbar.
             let input = &mut self.inputs[winner];
             let mut flit = input.reg.take().expect("winner holds a flit");
             if flit.kind.is_head() {
-                // Consume one hop of the source route.
-                if let Some(h) = flit.header.take() {
-                    let (_, next) = h.consume_route();
-                    flit.header = Some(next);
+                // Consume one hop of the source route on the packed bits.
+                if let Some(h) = flit.header {
+                    flit.header = Some(h.consume_route());
                 }
                 self.locks[o] = Some(winner);
                 input.route_port = Some(o);
@@ -433,7 +482,7 @@ mod tests {
             #[allow(clippy::needless_range_loop)]
             for o in 0..n_out {
                 if let Some(lf) = sw.transmit(o, None) {
-                    collected[o].push(lf.flit.clone());
+                    collected[o].push(lf.flit);
                     // Immediately ACK so the window never fills.
                     sw.outputs[o].tx.process(Some(AckNack {
                         seq: lf.seq,
@@ -445,7 +494,7 @@ mod tests {
             for (i, feed) in feeds.iter_mut().enumerate() {
                 if let Some(front) = feed.front() {
                     let lf = LinkFlit {
-                        flit: front.clone(),
+                        flit: *front,
                         seq: seqs[i],
                         corrupted: false,
                     };
@@ -477,7 +526,7 @@ mod tests {
         let mut sw = Switch::new(SwitchConfig::new(2, 2, 32));
         let feeds = vec![packet_flits(1, &[1, 3], 0).into(), VecDeque::new()];
         let out = run_switch(&mut sw, feeds, 10);
-        let h = out[1][0].header.as_ref().expect("head keeps header");
+        let h = out[1][0].header.expect("head keeps header").unpack();
         assert_eq!(h.route & 0xF, 3, "next hop should now be first");
         assert_eq!(h.hop_len, 1);
     }
@@ -500,7 +549,7 @@ mod tests {
                 sw.receive(
                     0,
                     Some(LinkFlit {
-                        flit: flit.clone(),
+                        flit,
                         seq: 0,
                         corrupted: false,
                     }),
@@ -526,7 +575,7 @@ mod tests {
                 sw.receive(
                     0,
                     Some(LinkFlit {
-                        flit: flit.clone(),
+                        flit,
                         seq: 0,
                         corrupted: false,
                     }),
@@ -617,7 +666,7 @@ mod tests {
             sw.crossbar();
             if let Some(front) = feed.front() {
                 let lf = LinkFlit {
-                    flit: front.clone(),
+                    flit: *front,
                     seq,
                     corrupted: false,
                 };
@@ -647,7 +696,7 @@ mod tests {
             sw.crossbar();
             if let Some(front) = feed.front() {
                 let lf = LinkFlit {
-                    flit: front.clone(),
+                    flit: *front,
                     seq,
                     corrupted: false,
                 };

@@ -52,7 +52,7 @@ fn drive(
         for o in 0..outputs {
             if let Some(lf) = sw.transmit(o, None) {
                 // Ideal sink: ack immediately via the same-port reply.
-                collected[o].push(lf.flit.clone());
+                collected[o].push(lf.flit);
                 sw.transmit(
                     o,
                     Some(AckNack {
@@ -66,7 +66,7 @@ fn drive(
         for (i, feed) in feeds.iter_mut().enumerate() {
             if let Some(front) = feed.front() {
                 let lf = LinkFlit {
-                    flit: front.clone(),
+                    flit: *front,
                     seq: seqs[i],
                     corrupted: false,
                 };

@@ -10,6 +10,7 @@
 //!   from the *previous* cycle's outputs, then all registers commit
 //!   simultaneously ([`Register`], [`Clocked`]),
 //! * deterministic random sources ([`rng::SimRng`]),
+//! * deterministic fan-out of independent seeded runs ([`parallel`]),
 //! * statistics gathering ([`stats`]),
 //! * value-change-dump tracing ([`trace::VcdWriter`]),
 //! * fault-model specifications and campaign reports ([`faults`]) with a
@@ -44,6 +45,7 @@
 pub mod faults;
 pub mod json;
 pub mod kernel;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -1,0 +1,154 @@
+//! Deterministic fan-out of independent seeded jobs.
+//!
+//! Campaign grid points and sweep operating points are embarrassingly
+//! parallel: each derives every random stream from its own seed and
+//! shares no state with its siblings. This module provides the one
+//! primitive they need — [`parallel_map_ordered`] — which runs a job per
+//! input on a scoped thread pool and returns results **in submission
+//! order**, so any report built from the output is byte-identical to the
+//! serial rendering regardless of worker count or OS scheduling.
+//!
+//! The determinism contract:
+//!
+//! * jobs receive their submission index and must derive all randomness
+//!   from inputs (never from wall clock, thread id, or shared state);
+//! * results land in a slot array keyed by submission index, so
+//!   completion order is irrelevant;
+//! * `workers == 1` degenerates to a plain serial loop on the calling
+//!   thread — no threads are spawned, which keeps single-core hosts and
+//!   debugging runs cheap.
+//!
+//! # Examples
+//!
+//! ```
+//! use xpipes_sim::parallel::{parallel_map_ordered, worker_count};
+//!
+//! let seeds = [7u64, 11, 13, 17];
+//! let out = parallel_map_ordered(&seeds, worker_count(seeds.len()), |i, &s| {
+//!     s.wrapping_mul(i as u64 + 1)
+//! });
+//! assert_eq!(out, vec![7, 22, 39, 68]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count for `jobs` independent jobs: the host's available
+/// parallelism, capped at the job count and floored at one.
+#[must_use]
+pub fn worker_count(jobs: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(jobs).max(1)
+}
+
+/// Applies `f` to every item on up to `workers` scoped threads and
+/// returns the results in submission order.
+///
+/// `f` receives `(submission_index, &item)`. Work is handed out through
+/// an atomic cursor, so threads stay busy even when job durations vary;
+/// each result is written to the slot matching its submission index, so
+/// the output order never depends on scheduling.
+///
+/// # Panics
+///
+/// Propagates a panic from any job after all workers have stopped (the
+/// scope joins every thread before unwinding).
+pub fn parallel_map_ordered<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.min(items.len()).max(1);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(i, item);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("scope joined all workers, so every slot is filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_submission_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = parallel_map_ordered(&items, 8, |i, &x| {
+            assert_eq!(i, x);
+            // Stagger completion so late submissions finish first.
+            if i % 3 == 0 {
+                std::thread::yield_now();
+            }
+            x * 2
+        });
+        assert_eq!(out, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_serial_for_any_worker_count() {
+        let items: Vec<u64> = (0..17).map(|i| i * 31 + 5).collect();
+        let serial = parallel_map_ordered(&items, 1, |i, &x| x.wrapping_mul(i as u64 + 3));
+        for workers in [2, 3, 8, 32] {
+            let par = parallel_map_ordered(&items, workers, |i, &x| x.wrapping_mul(i as u64 + 3));
+            assert_eq!(par, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: [u8; 0] = [];
+        let out = parallel_map_ordered(&items, 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_runs_on_calling_thread() {
+        let caller = std::thread::current().id();
+        let items = [1, 2, 3];
+        let out = parallel_map_ordered(&items, 1, |_, &x| {
+            assert_eq!(std::thread::current().id(), caller);
+            x + 1
+        });
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn worker_count_is_bounded() {
+        assert_eq!(worker_count(0), 1);
+        assert!(worker_count(1) == 1);
+        assert!(worker_count(1000) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn job_panics_propagate() {
+        let items: Vec<usize> = (0..8).collect();
+        parallel_map_ordered(&items, 4, |i, _| {
+            if i == 3 {
+                panic!("job 3 exploded");
+            }
+            i
+        });
+    }
+}

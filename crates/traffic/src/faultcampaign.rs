@@ -149,8 +149,82 @@ fn run_one(
     Ok((summary, violations))
 }
 
-/// Runs the full campaign: a fault-free baseline, then every fault model
-/// in `faults` at every rate in the config's grid.
+/// One grid point awaiting execution: the baseline (index 0) or a
+/// fault-model/rate pair (index 1..). Each job is a pure function of the
+/// master seed and its submission index, which is what makes the
+/// campaign safe to fan out across threads.
+#[derive(Debug, Clone)]
+struct CampaignJob {
+    index: u64,
+    kind: Option<FaultKind>,
+    rate: f64,
+}
+
+fn campaign_jobs(faults: &[FaultKind], cfg: &CampaignConfig) -> Vec<CampaignJob> {
+    let mut jobs = vec![CampaignJob {
+        index: 0,
+        kind: None,
+        rate: 0.0,
+    }];
+    let mut index = 1u64;
+    for &kind in faults {
+        for &rate in &cfg.error_rates {
+            jobs.push(CampaignJob {
+                index,
+                kind: Some(kind),
+                rate,
+            });
+            index += 1;
+        }
+    }
+    jobs
+}
+
+/// Folds per-run results (in submission order: baseline first, then the
+/// grid) into the campaign report. Shared by the serial and parallel
+/// paths so both render byte-identical JSON.
+fn merge_results(
+    spec: &NocSpec,
+    faults: &[FaultKind],
+    cfg: &CampaignConfig,
+    jobs: &[CampaignJob],
+    results: Vec<(RunSummary, Vec<String>)>,
+) -> CampaignReport {
+    debug_assert_eq!(jobs.len(), results.len());
+    let mut results = results.into_iter();
+    let (baseline, base_violations) = results.next().expect("baseline job always present");
+    let mut runs = Vec::with_capacity(jobs.len() - 1);
+    for (job, (summary, violations)) in jobs[1..].iter().zip(results) {
+        let kind = job.kind.expect("grid jobs carry a fault kind");
+        let latency_factor = if baseline.avg_latency > 0.0 && summary.avg_latency > 0.0 {
+            summary.avg_latency / baseline.avg_latency
+        } else {
+            1.0
+        };
+        let pass = violations.is_empty() && summary.drained;
+        runs.push(FaultRun {
+            fault: kind.name().to_string(),
+            rate: job.rate,
+            summary,
+            violations,
+            latency_factor,
+            pass,
+        });
+    }
+    debug_assert_eq!(runs.len(), faults.len() * cfg.error_rates.len());
+    let pass = base_violations.is_empty() && baseline.drained && runs.iter().all(|r| r.pass);
+    CampaignReport {
+        name: spec.name.clone(),
+        seed: cfg.seed,
+        cycles: cfg.cycles,
+        baseline,
+        runs,
+        pass,
+    }
+}
+
+/// Runs the full campaign serially: a fault-free baseline, then every
+/// fault model in `faults` at every rate in the config's grid.
 ///
 /// # Errors
 ///
@@ -160,40 +234,47 @@ pub fn run_campaign(
     faults: &[FaultKind],
     cfg: &CampaignConfig,
 ) -> Result<CampaignReport, XpipesError> {
-    let (baseline, base_violations) =
-        run_one(spec, &FaultPlan::none(), cfg, run_seed(cfg.seed, 0))?;
-    let mut runs = Vec::new();
-    let mut index = 1u64;
-    for &kind in faults {
-        for &rate in &cfg.error_rates {
-            let plan = kind.plan(rate);
-            let (summary, violations) = run_one(spec, &plan, cfg, run_seed(cfg.seed, index))?;
-            index += 1;
-            let latency_factor = if baseline.avg_latency > 0.0 && summary.avg_latency > 0.0 {
-                summary.avg_latency / baseline.avg_latency
-            } else {
-                1.0
-            };
-            let pass = violations.is_empty() && summary.drained;
-            runs.push(FaultRun {
-                fault: kind.name().to_string(),
-                rate,
-                summary,
-                violations,
-                latency_factor,
-                pass,
-            });
-        }
-    }
-    let pass = base_violations.is_empty() && baseline.drained && runs.iter().all(|r| r.pass);
-    Ok(CampaignReport {
-        name: spec.name.clone(),
-        seed: cfg.seed,
-        cycles: cfg.cycles,
-        baseline,
-        runs,
-        pass,
+    let jobs = campaign_jobs(faults, cfg);
+    let results = jobs
+        .iter()
+        .map(|job| {
+            let plan = job.kind.map_or_else(FaultPlan::none, |k| k.plan(job.rate));
+            run_one(spec, &plan, cfg, run_seed(cfg.seed, job.index))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(merge_results(spec, faults, cfg, &jobs, results))
+}
+
+/// Runs the full campaign with grid points fanned out across `workers`
+/// threads. Every run derives all randomness from the master seed and
+/// its grid index, and results are merged in submission order, so the
+/// report is **byte-identical** to [`run_campaign`] for the same inputs
+/// — regardless of worker count or scheduling.
+///
+/// Pass `workers = 0` to use the host's available parallelism.
+///
+/// # Errors
+///
+/// Propagates network-assembly failures from the specification.
+pub fn run_campaign_parallel(
+    spec: &NocSpec,
+    faults: &[FaultKind],
+    cfg: &CampaignConfig,
+    workers: usize,
+) -> Result<CampaignReport, XpipesError> {
+    let jobs = campaign_jobs(faults, cfg);
+    let workers = if workers == 0 {
+        xpipes_sim::parallel::worker_count(jobs.len())
+    } else {
+        workers
+    };
+    let results = xpipes_sim::parallel::parallel_map_ordered(&jobs, workers, |_, job| {
+        let plan = job.kind.map_or_else(FaultPlan::none, |k| k.plan(job.rate));
+        run_one(spec, &plan, cfg, run_seed(cfg.seed, job.index))
     })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    Ok(merge_results(spec, faults, cfg, &jobs, results))
 }
 
 #[cfg(test)]
@@ -227,5 +308,17 @@ mod tests {
     fn run_seeds_decorrelate() {
         assert_ne!(run_seed(7, 0), run_seed(7, 1));
         assert_ne!(run_seed(7, 1), run_seed(7, 2));
+    }
+
+    #[test]
+    fn parallel_report_is_byte_identical_to_serial() {
+        let mut cfg = CampaignConfig::new(29, 500);
+        cfg.error_rates = vec![0.02, 0.04];
+        let faults = [FaultKind::FlitCorruption, FaultKind::AckLoss];
+        let serial = run_campaign(&campaign_spec(), &faults, &cfg).unwrap();
+        for workers in [1, 2, 4] {
+            let par = run_campaign_parallel(&campaign_spec(), &faults, &cfg, workers).unwrap();
+            assert_eq!(par.to_json(), serial.to_json(), "workers={workers}");
+        }
     }
 }

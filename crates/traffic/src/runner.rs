@@ -64,9 +64,12 @@ pub fn measure(
     })
 }
 
-/// Parallel variant of [`sweep`]: one thread per operating point.
-/// Results are identical to the sequential sweep (each point is seeded
-/// independently), just faster on multicore hosts.
+/// Parallel variant of [`sweep`], fanned out on the deterministic work
+/// pool ([`xpipes_sim::parallel`]). Each operating point is seeded
+/// independently and results come back in submission order, so the
+/// output is identical to the sequential sweep — the pool just bounds
+/// thread count at the host's parallelism instead of spawning one
+/// thread per point.
 ///
 /// # Errors
 ///
@@ -79,16 +82,12 @@ pub fn sweep_parallel(
     window: u64,
     seed: u64,
 ) -> Result<Vec<LoadPoint>, XpipesError> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = rates
-            .iter()
-            .map(|&r| scope.spawn(move || measure(spec, pattern, r, warmup, window, seed)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("measurement thread must not panic"))
-            .collect()
+    let workers = xpipes_sim::parallel::worker_count(rates.len());
+    xpipes_sim::parallel::parallel_map_ordered(rates, workers, |_, &r| {
+        measure(spec, pattern, r, warmup, window, seed)
     })
+    .into_iter()
+    .collect()
 }
 
 /// Sweeps offered load over `rates`, producing one [`LoadPoint`] each.

@@ -10,7 +10,9 @@ use xpipes::flow_control::FlowSabotage;
 use xpipes::monitor::{InvariantKind, MonitorConfig};
 use xpipes::noc::Noc;
 use xpipes_sim::{FaultKind, FaultPlan};
-use xpipes_traffic::faultcampaign::{campaign_spec, run_campaign, CampaignConfig};
+use xpipes_traffic::faultcampaign::{
+    campaign_spec, run_campaign, run_campaign_parallel, CampaignConfig,
+};
 use xpipes_traffic::generator::{Injector, InjectorConfig};
 use xpipes_traffic::pattern::Pattern;
 
@@ -50,6 +52,75 @@ fn report_is_deterministic() {
     other.seed = 8;
     let c = run_campaign(&campaign_spec(), &FaultKind::ALL, &other).expect("third run");
     assert_ne!(a.to_json(), c.to_json());
+}
+
+/// Fanning the campaign grid across worker threads must not perturb the
+/// report: every run derives its streams from the master seed and its
+/// grid index, and the pool merges results in submission order, so the
+/// JSON is byte-identical to the serial rendering at any worker count.
+#[test]
+fn parallel_campaign_matches_serial_byte_for_byte() {
+    let mut cfg = CampaignConfig::new(7, 1200);
+    cfg.error_rates = vec![0.01, 0.04];
+    let serial = run_campaign(&campaign_spec(), &FaultKind::ALL, &cfg).expect("serial run");
+    let auto = run_campaign_parallel(&campaign_spec(), &FaultKind::ALL, &cfg, 0)
+        .expect("parallel run (auto workers)");
+    assert_eq!(serial.to_json(), auto.to_json());
+    let forced =
+        run_campaign_parallel(&campaign_spec(), &FaultKind::ALL, &cfg, 3).expect("3 workers");
+    assert_eq!(serial.to_json(), forced.to_json());
+}
+
+/// The cycle engine's activity fast path (taken when no monitor, trace,
+/// or stall faults are attached) must be behaviourally invisible: a
+/// monitored run and a bare run from the same seed agree on every
+/// counter and on the latency distribution.
+#[test]
+fn fast_path_matches_monitored_slow_path() {
+    let spec = campaign_spec();
+    let run = |monitored: bool| {
+        let mut noc = Noc::with_seed(&spec, 23).expect("instantiates");
+        if monitored {
+            noc.enable_monitor(MonitorConfig {
+                liveness_bound: 2500,
+                max_violations: 64,
+            });
+        }
+        let mut inj = Injector::new(
+            &spec,
+            InjectorConfig::new(0.05, Pattern::Uniform),
+            23 ^ 0x5EED,
+        )
+        .expect("injector");
+        for _ in 0..1500 {
+            inj.step(&mut noc);
+        }
+        assert!(noc.run_until_idle(20_000), "network drains");
+        inj.drain_responses(&mut noc);
+        if monitored {
+            noc.finish_monitor();
+            assert!(noc.monitor_violations().is_empty());
+        } else if let Some((active, _total)) = noc.active_channels() {
+            assert_eq!(active, 0, "idle network must report zero active channels");
+        }
+        noc.stats()
+    };
+    let fast = run(false);
+    let slow = run(true);
+    assert_eq!(fast.cycles, slow.cycles);
+    assert_eq!(fast.packets_sent, slow.packets_sent);
+    assert_eq!(fast.packets_delivered, slow.packets_delivered);
+    assert_eq!(fast.flits_routed, slow.flits_routed);
+    assert_eq!(fast.retransmissions, slow.retransmissions);
+    assert_eq!(fast.ack_timeouts, slow.ack_timeouts);
+    assert_eq!(
+        fast.transaction_latency.mean(),
+        slow.transaction_latency.mean()
+    );
+    assert_eq!(
+        fast.transaction_latency.max(),
+        slow.transaction_latency.max()
+    );
 }
 
 /// Each fault model leaves its fingerprint in the run counters — the
