@@ -8,15 +8,29 @@
 //! nonzero on a throughput regression beyond the tolerance, so CI can
 //! gate on it.
 //!
+//! Telemetry flags: `--telemetry` attaches the metric registry to every
+//! workload (the timed run then exercises the instrumented engine, which
+//! is how CI measures the real-world cost), `--timeline PATH` also
+//! collects and writes the congestion timeline of the uniform-random
+//! workload, `--flight-recorder` keeps a flight-recorder ring whose
+//! Perfetto view `--perfetto PATH` exports, and
+//! `--max-telemetry-overhead F` runs an off/on comparison and exits
+//! nonzero when the fractional slowdown exceeds `F`.
+//!
 //! ```text
 //! cycle_engine --cycles 200000
 //! cycle_engine --cycles 50000 --check BENCH_cycle_engine.json --tolerance 0.2
+//! cycle_engine --cycles 50000 --telemetry --timeline timeline.json \
+//!              --flight-recorder --perfetto trace.json
+//! cycle_engine --cycles 50000 --max-telemetry-overhead 0.05
 //! ```
 
 use std::process::ExitCode;
 
+use xpipes::noc::TelemetryConfig;
 use xpipes_bench::cycle_engine::{
-    parse_cycles_per_sec, report_json, run_workload, Workload, DEFAULT_CYCLES,
+    measure_telemetry_overhead, parse_cycles_per_sec, report_json, run_workload,
+    run_workload_instrumented, Workload, WorkloadResult, DEFAULT_CYCLES,
 };
 
 struct Args {
@@ -24,6 +38,11 @@ struct Args {
     out: String,
     check: Option<String>,
     tolerance: f64,
+    telemetry: bool,
+    timeline: Option<String>,
+    flight_recorder: bool,
+    perfetto: Option<String>,
+    max_telemetry_overhead: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +51,11 @@ fn parse_args() -> Result<Args, String> {
         out: "BENCH_cycle_engine.json".to_string(),
         check: None,
         tolerance: 0.2,
+        telemetry: false,
+        timeline: None,
+        flight_recorder: false,
+        perfetto: None,
+        max_telemetry_overhead: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -49,10 +73,23 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --tolerance: {e}"))?;
             }
+            "--telemetry" => args.telemetry = true,
+            "--timeline" => args.timeline = Some(value("--timeline")?),
+            "--flight-recorder" => args.flight_recorder = true,
+            "--perfetto" => args.perfetto = Some(value("--perfetto")?),
+            "--max-telemetry-overhead" => {
+                args.max_telemetry_overhead = Some(
+                    value("--max-telemetry-overhead")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-telemetry-overhead: {e}"))?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: cycle_engine [--cycles N] [--out PATH] \
-                     [--check BASELINE.json] [--tolerance F]"
+                     [--check BASELINE.json] [--tolerance F] [--telemetry] \
+                     [--timeline PATH] [--flight-recorder] [--perfetto PATH] \
+                     [--max-telemetry-overhead F]"
                 );
                 std::process::exit(0);
             }
@@ -60,6 +97,27 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+fn telemetry_config(args: &Args) -> TelemetryConfig {
+    TelemetryConfig {
+        timeline: args.timeline.is_some(),
+        flight_recorder_depth: if args.flight_recorder || args.perfetto.is_some() {
+            4096
+        } else {
+            0
+        },
+        ..TelemetryConfig::default()
+    }
+}
+
+fn write_artifact(path: &str, what: &str, body: &str) -> Result<(), ExitCode> {
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("error: cannot write {what} {path}: {e}");
+        return Err(ExitCode::from(2));
+    }
+    println!("{what} written to {path}");
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -70,17 +128,40 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let instrument = args.telemetry
+        || args.timeline.is_some()
+        || args.flight_recorder
+        || args.perfetto.is_some();
     let workloads = [Workload::UniformRandom, Workload::Hotspot];
-    let mut results = Vec::new();
+    let mut results: Vec<WorkloadResult> = Vec::new();
     for w in workloads {
-        match run_workload(w, args.cycles) {
-            Ok(r) => {
+        let run = if instrument {
+            run_workload_instrumented(w, args.cycles, telemetry_config(&args)).map(|inst| {
+                // Artifacts come from the uniform-random workload (the
+                // canonical reference); the hotspot run just exercises
+                // the instrumented engine.
+                if w == Workload::UniformRandom {
+                    if let (Some(path), Some(body)) = (&args.timeline, &inst.timeline_json) {
+                        write_artifact(path, "timeline", body)?;
+                    }
+                    if let (Some(path), Some(body)) = (&args.perfetto, &inst.perfetto_json) {
+                        write_artifact(path, "perfetto trace", body)?;
+                    }
+                }
+                Ok(inst.result)
+            })
+        } else {
+            run_workload(w, args.cycles).map(Ok)
+        };
+        match run {
+            Ok(Ok(r)) => {
                 println!(
                     "{:<20} {:>12.0} cycles/s  {:>12.0} flits/s  ({} cycles in {:.3}s)",
                     r.name, r.cycles_per_sec, r.flits_per_sec, r.cycles, r.elapsed_s
                 );
                 results.push(r);
             }
+            Ok(Err(code)) => return code,
             Err(e) => {
                 eprintln!("error: workload {} failed: {e}", w.name());
                 return ExitCode::from(2);
@@ -123,6 +204,31 @@ fn main() -> ExitCode {
             eprintln!(
                 "error: throughput regressed more than {:.0}%",
                 args.tolerance * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(budget) = args.max_telemetry_overhead {
+        let o = match measure_telemetry_overhead(Workload::UniformRandom, args.cycles, 3) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: overhead measurement failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        println!(
+            "telemetry overhead: baseline {:>12.0} cycles/s  telemetry {:>12.0} cycles/s  \
+             overhead {:.1}% (budget {:.1}%)",
+            o.baseline_cycles_per_sec,
+            o.telemetry_cycles_per_sec,
+            o.overhead * 100.0,
+            budget * 100.0
+        );
+        if o.overhead > budget {
+            eprintln!(
+                "error: telemetry overhead {:.1}% exceeds budget {:.1}%",
+                o.overhead * 100.0,
+                budget * 100.0
             );
             return ExitCode::FAILURE;
         }

@@ -27,6 +27,7 @@ struct Args {
     rates: Option<Vec<f64>>,
     out: Option<String>,
     jobs: usize,
+    flight_depth: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         rates: None,
         out: None,
         jobs: 0,
+        flight_depth: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,10 +86,18 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --jobs: {e}"))?;
             }
+            "--flight-depth" => {
+                args.flight_depth = Some(
+                    value("--flight-depth")?
+                        .parse()
+                        .map_err(|e| format!("bad --flight-depth: {e}"))?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: faultcampaign [--faults all|NAME,..] [--cycles N] \
-                     [--seed N] [--rates R,..] [--out PATH] [--jobs N]\n\
+                     [--seed N] [--rates R,..] [--out PATH] [--jobs N] \
+                     [--flight-depth N]\n\
                      fault models: {}",
                     FaultKind::ALL.map(|k| k.name()).join(", ")
                 );
@@ -110,6 +120,9 @@ fn main() -> ExitCode {
     let mut cfg = CampaignConfig::new(args.seed, args.cycles);
     if let Some(rates) = args.rates {
         cfg.error_rates = rates;
+    }
+    if let Some(depth) = args.flight_depth {
+        cfg.flight_recorder_depth = depth;
     }
     let report = match run_campaign_parallel(&campaign_spec(), &args.faults, &cfg, args.jobs) {
         Ok(r) => r,

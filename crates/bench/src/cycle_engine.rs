@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 
-use xpipes::noc::Noc;
+use xpipes::noc::{Noc, TelemetryConfig};
 use xpipes::XpipesError;
 use xpipes_sim::Json;
 use xpipes_topology::builders::mesh;
@@ -110,14 +110,18 @@ pub struct WorkloadResult {
 }
 
 /// Runs one reference workload for `cycles` injection cycles plus drain,
-/// timing the whole simulation.
-///
-/// # Errors
-///
-/// Propagates network-assembly failures.
-pub fn run_workload(workload: Workload, cycles: u64) -> Result<WorkloadResult, XpipesError> {
+/// timing the whole simulation. Returns the network alongside the
+/// measurement so instrumented callers can export telemetry artifacts.
+fn run_timed(
+    workload: Workload,
+    cycles: u64,
+    telemetry: Option<TelemetryConfig>,
+) -> Result<(Noc, WorkloadResult), XpipesError> {
     let spec = reference_spec();
     let mut noc = Noc::with_seed(&spec, BENCH_SEED)?;
+    if let Some(cfg) = telemetry {
+        noc.enable_telemetry(cfg);
+    }
     let mut inj = Injector::new(
         &spec,
         InjectorConfig::new(BENCH_RATE, workload.pattern()),
@@ -128,9 +132,10 @@ pub fn run_workload(workload: Workload, cycles: u64) -> Result<WorkloadResult, X
     noc.run_until_idle(cycles / 2);
     let elapsed = start.elapsed().as_secs_f64();
     inj.drain_responses(&mut noc);
+    noc.flush_telemetry();
     let stats = noc.stats();
     let total_cycles = stats.cycles;
-    Ok(WorkloadResult {
+    let result = WorkloadResult {
         name: workload.name(),
         cycles: total_cycles,
         elapsed_s: elapsed,
@@ -138,6 +143,102 @@ pub fn run_workload(workload: Workload, cycles: u64) -> Result<WorkloadResult, X
         flits_per_sec: stats.flits_routed as f64 / elapsed,
         flits_routed: stats.flits_routed,
         packets_delivered: stats.packets_delivered,
+    };
+    Ok((noc, result))
+}
+
+/// Runs one reference workload for `cycles` injection cycles plus drain,
+/// timing the whole simulation.
+///
+/// # Errors
+///
+/// Propagates network-assembly failures.
+pub fn run_workload(workload: Workload, cycles: u64) -> Result<WorkloadResult, XpipesError> {
+    run_timed(workload, cycles, None).map(|(_, r)| r)
+}
+
+/// A workload measurement taken with the telemetry layer attached, plus
+/// the rendered observability artifacts it produced.
+#[derive(Debug)]
+pub struct InstrumentedRun {
+    /// The timed measurement (same fields as an uninstrumented run; the
+    /// work fingerprint must match it exactly).
+    pub result: WorkloadResult,
+    /// Rendered metric-registry JSON.
+    pub registry_json: String,
+    /// Rendered congestion-timeline JSON, when the config collects one.
+    pub timeline_json: Option<String>,
+    /// Rendered Chrome/Perfetto `trace_event` JSON of the flight
+    /// recorder's event window, when the config runs a recorder.
+    pub perfetto_json: Option<String>,
+}
+
+/// Runs one reference workload with telemetry enabled and returns the
+/// measurement together with the rendered artifacts.
+///
+/// # Errors
+///
+/// Propagates network-assembly failures.
+pub fn run_workload_instrumented(
+    workload: Workload,
+    cycles: u64,
+    config: TelemetryConfig,
+) -> Result<InstrumentedRun, XpipesError> {
+    let (noc, result) = run_timed(workload, cycles, Some(config))?;
+    Ok(InstrumentedRun {
+        result,
+        registry_json: noc
+            .telemetry_registry()
+            .expect("telemetry was enabled")
+            .to_json()
+            .render(),
+        timeline_json: noc.timeline_json(),
+        perfetto_json: noc.perfetto_json(),
+    })
+}
+
+/// Telemetry overhead on a reference workload: the fractional slowdown
+/// of the metrics-registry epoch sampling relative to an uninstrumented
+/// run, measured best-of-`trials` (minimum elapsed on each side, which
+/// suppresses scheduler noise).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryOverhead {
+    /// Best uninstrumented throughput (cycles/sec).
+    pub baseline_cycles_per_sec: f64,
+    /// Best telemetry-enabled throughput (cycles/sec).
+    pub telemetry_cycles_per_sec: f64,
+    /// Fractional slowdown: `1 - on/off`, clamped at 0.
+    pub overhead: f64,
+}
+
+/// Measures telemetry overhead on `workload` by interleaving `trials`
+/// uninstrumented and telemetry-enabled runs (registry sampling only —
+/// the configuration the ≤5% budget is defined for) and comparing the
+/// best of each.
+///
+/// # Errors
+///
+/// Propagates network-assembly failures.
+pub fn measure_telemetry_overhead(
+    workload: Workload,
+    cycles: u64,
+    trials: u32,
+) -> Result<TelemetryOverhead, XpipesError> {
+    let trials = trials.max(1);
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    for _ in 0..trials {
+        let (_, off) = run_timed(workload, cycles, None)?;
+        let (_, on) = run_timed(workload, cycles, Some(TelemetryConfig::default()))?;
+        best_off = best_off.min(off.elapsed_s);
+        best_on = best_on.min(on.elapsed_s);
+    }
+    let baseline = cycles as f64 / best_off;
+    let with_telemetry = cycles as f64 / best_on;
+    Ok(TelemetryOverhead {
+        baseline_cycles_per_sec: baseline,
+        telemetry_cycles_per_sec: with_telemetry,
+        overhead: (1.0 - with_telemetry / baseline).max(0.0),
     })
 }
 
@@ -203,6 +304,28 @@ mod tests {
         assert!(r.flits_routed > 0);
         assert!(r.cycles >= 3000);
         assert!(r.cycles_per_sec > 0.0);
+    }
+
+    #[test]
+    fn instrumented_run_preserves_work_fingerprint() {
+        let plain = run_workload(Workload::UniformRandom, 2000).unwrap();
+        let inst =
+            run_workload_instrumented(Workload::UniformRandom, 2000, TelemetryConfig::full())
+                .unwrap();
+        assert_eq!(plain.flits_routed, inst.result.flits_routed);
+        assert_eq!(plain.packets_delivered, inst.result.packets_delivered);
+        assert_eq!(plain.cycles, inst.result.cycles);
+        assert!(inst.timeline_json.is_some());
+        assert!(inst.perfetto_json.is_some());
+        assert!(inst.registry_json.contains("\"components\""));
+    }
+
+    #[test]
+    fn overhead_measurement_is_sane() {
+        let o = measure_telemetry_overhead(Workload::UniformRandom, 1000, 1).unwrap();
+        assert!(o.baseline_cycles_per_sec > 0.0);
+        assert!(o.telemetry_cycles_per_sec > 0.0);
+        assert!((0.0..=1.0).contains(&o.overhead), "{o:?}");
     }
 
     #[test]

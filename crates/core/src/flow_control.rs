@@ -812,4 +812,23 @@ mod tests {
         assert_eq!(delivered, (0..20).collect::<Vec<_>>());
         assert_eq!(tx.retransmissions(), 0);
     }
+
+    /// The telemetry flight recorder restates the link layer's modulo-64
+    /// sequence space (its crate cannot depend on this one); walking
+    /// `seq_next` through several wraps pins the two moduli together —
+    /// a divergence would misclassify new sends as retransmissions.
+    #[test]
+    fn flight_recorder_seq_space_matches_link_layer() {
+        use xpipes_sim::telemetry::{FlightRecorder, TraceEventKind};
+        let mut fr = FlightRecorder::new(1, 1);
+        let mut seq = 0u8;
+        for i in 0..(3 * SEQ_MOD as u32) {
+            assert_eq!(
+                fr.classify_transmit(0, seq),
+                TraceEventKind::Transmit,
+                "in-order send {i} misread as a replay"
+            );
+            seq = seq_next(seq);
+        }
+    }
 }

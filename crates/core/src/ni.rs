@@ -34,6 +34,9 @@ struct NiPort {
     rx: LinkRx,
     out_queue: VecDeque<Flit>,
     rx_buf: Vec<Flit>,
+    /// Cycles a packetized flit sat queued while the retransmission
+    /// window was full (telemetry: NI packetization stalls).
+    stalls: u64,
 }
 
 impl NiPort {
@@ -46,6 +49,7 @@ impl NiPort {
             rx: LinkRx::new(),
             out_queue: VecDeque::new(),
             rx_buf: Vec::new(),
+            stalls: 0,
         }
     }
 
@@ -54,6 +58,9 @@ impl NiPort {
         let new = if self.tx.ready_for_new() {
             self.out_queue.pop_front()
         } else {
+            if !self.out_queue.is_empty() {
+                self.stalls += 1;
+            }
             None
         };
         self.tx.transmit(new)
@@ -214,6 +221,12 @@ impl InitiatorNi {
     /// (activity fast-path probe).
     pub fn link_busy(&self) -> bool {
         self.port.tx_pending()
+    }
+
+    /// Cycles a packetized flit waited in the output queue because the
+    /// link-layer retransmission window was full.
+    pub fn packetization_stalls(&self) -> u64 {
+        self.port.stalls
     }
 
     /// The ACK/nACK sender on the network port.
@@ -438,6 +451,12 @@ impl TargetNi {
     /// (activity fast-path probe).
     pub fn link_busy(&self) -> bool {
         self.port.tx_pending()
+    }
+
+    /// Cycles a packetized flit waited in the output queue because the
+    /// link-layer retransmission window was full.
+    pub fn packetization_stalls(&self) -> u64 {
+        self.port.stalls
     }
 
     /// The ACK/nACK sender on the network port.

@@ -18,6 +18,10 @@
 use std::collections::HashMap;
 
 use xpipes_ocp::{Request, Response, SlaveMemory};
+use xpipes_sim::telemetry::{
+    perfetto_trace, CongestionTimeline, FlightRecorder, MetricId, MetricsRegistry,
+    TelemetrySummary, TraceEvent, TraceEventKind,
+};
 use xpipes_sim::trace::{SignalId, VcdWriter};
 use xpipes_sim::{Cycle, FaultPlan, RunningStats, SimRng};
 use xpipes_topology::spec::NocSpec;
@@ -116,6 +120,90 @@ struct TraceState {
     packet: Vec<SignalId>,
 }
 
+/// Telemetry configuration for [`Noc::enable_telemetry`].
+///
+/// Unlike tracing and the protocol monitor, telemetry does **not**
+/// disable the activity fast path: metrics are epoch-aggregated (the
+/// engine scans component counters once every `sample_interval` cycles)
+/// and the flight recorder only sees events from channels the engine
+/// actually touched — a skipped channel is provably inert and produces
+/// none. No RNG stream is read, so simulated behaviour is bit-identical
+/// with telemetry on or off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Cycles between registry samples (and timeline windows).
+    pub sample_interval: u64,
+    /// Record a time-windowed congestion timeline (per-link utilization
+    /// and per-switch queue depth).
+    pub timeline: bool,
+    /// Flight-recorder capacity in events; 0 disables the recorder.
+    pub flight_recorder_depth: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            sample_interval: 64,
+            timeline: false,
+            flight_recorder_depth: 0,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Everything on: timeline plus a generously sized flight recorder.
+    pub fn full() -> Self {
+        TelemetryConfig {
+            sample_interval: 64,
+            timeline: true,
+            flight_recorder_depth: 4096,
+        }
+    }
+}
+
+/// Metric handles of one switch.
+struct SwitchMetrics {
+    flits: MetricId,
+    grants: MetricId,
+    denials: MetricId,
+    retx: MetricId,
+    timeouts: MetricId,
+    queue: MetricId,
+}
+
+/// Metric handles of one channel (link + its producer/consumer view).
+struct ChannelMetrics {
+    traversals: MetricId,
+    corrupted: MetricId,
+    retx: MetricId,
+    acks: MetricId,
+    nacks: MetricId,
+}
+
+/// Metric handles of one NI.
+struct NiMetrics {
+    packets: MetricId,
+    flits: MetricId,
+    stalls: MetricId,
+}
+
+/// Everything telemetry: the registry plus the component→metric handle
+/// maps, the optional timeline, and the optional flight recorder.
+struct TelemetryState {
+    config: TelemetryConfig,
+    registry: MetricsRegistry,
+    sw_metrics: Vec<SwitchMetrics>,
+    ch_metrics: Vec<ChannelMetrics>,
+    ini_metrics: Vec<NiMetrics>,
+    tgt_metrics: Vec<NiMetrics>,
+    timeline: Option<CongestionTimeline>,
+    /// Per-channel traversal count at the last sample, for window deltas.
+    last_traversals: Vec<u64>,
+    /// First cycle of the currently accumulating timeline window.
+    window_start: u64,
+    flight: Option<FlightRecorder>,
+}
+
 /// An assembled, runnable xpipes network.
 ///
 /// See the crate-level documentation for a complete example.
@@ -129,6 +217,10 @@ pub struct Noc {
     now: Cycle,
     name: String,
     trace: Option<TraceState>,
+    /// Epoch-sampled metrics / timeline / flight recorder. Boxed so the
+    /// sampling take-put dance moves one pointer, and deliberately NOT
+    /// part of [`fast_path`](Self::fast_path)'s gate.
+    telemetry: Option<Box<TelemetryState>>,
     faults: FaultPlan,
     /// Dedicated RNG stream for network-level fault injection (output
     /// stalls), kept separate from the per-link streams so enabling one
@@ -330,6 +422,7 @@ impl Noc {
             now: Cycle::ZERO,
             name: spec.name.clone(),
             trace: None,
+            telemetry: None,
             stall_faults: faults.stall_rate > 0.0,
             faults,
             // Stream 0 is never handed to a link (their streams start at
@@ -349,7 +442,20 @@ impl Noc {
     /// low byte of the travelling packet id are recorded from now on.
     /// Retrieve the dump with [`vcd`](Self::vcd).
     pub fn enable_trace(&mut self) {
-        let mut vcd = VcdWriter::new(self.name.clone());
+        let vcd = VcdWriter::new(self.name.clone());
+        self.install_trace(vcd);
+    }
+
+    /// Enables waveform capture streamed incrementally to `writer`
+    /// (e.g. a file), so long runs never hold the whole VCD body in
+    /// memory. [`vcd`](Self::vcd) returns `None` for a streamed trace;
+    /// call [`flush_trace`](Self::flush_trace) when done.
+    pub fn enable_trace_to(&mut self, writer: Box<dyn std::io::Write + Send>) {
+        let vcd = VcdWriter::stream(self.name.clone(), writer);
+        self.install_trace(vcd);
+    }
+
+    fn install_trace(&mut self, mut vcd: VcdWriter) {
         let mut valid = Vec::with_capacity(self.channels.len());
         let mut packet = Vec::with_capacity(self.channels.len());
         for i in 0..self.channels.len() {
@@ -359,9 +465,26 @@ impl Noc {
         self.trace = Some(TraceState { vcd, valid, packet });
     }
 
-    /// The captured VCD document, if tracing is enabled.
+    /// The captured VCD document, if tracing is enabled and buffered
+    /// (`None` when the trace streams to an external sink).
     pub fn vcd(&self) -> Option<String> {
-        self.trace.as_ref().map(|t| t.vcd.finish())
+        self.trace
+            .as_ref()
+            .filter(|t| !t.vcd.is_streaming())
+            .map(|t| t.vcd.finish())
+    }
+
+    /// Flushes a streamed trace sink and surfaces any latched write
+    /// error. No-op without a trace or for a buffered one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error the sink reported.
+    pub fn flush_trace(&mut self) -> std::io::Result<()> {
+        match &mut self.trace {
+            Some(t) => t.vcd.flush(),
+            None => Ok(()),
+        }
     }
 
     /// Design name from the specification.
@@ -589,6 +712,253 @@ impl Noc {
         }
     }
 
+    /// Human-readable label of channel `i` (`producer->consumer`), or
+    /// `None` for an out-of-range index.
+    pub fn channel_label(&self, i: usize) -> Option<String> {
+        self.channels.get(i).map(|ch| {
+            format!(
+                "{}->{}",
+                self.endpoint_label(ch.producer),
+                self.endpoint_label(ch.consumer)
+            )
+        })
+    }
+
+    /// Labels of every channel, in dense channel order.
+    pub fn channel_labels(&self) -> Vec<String> {
+        (0..self.channels.len())
+            .map(|i| self.channel_label(i).expect("in range"))
+            .collect()
+    }
+
+    /// Attaches the telemetry layer: a per-component metric registry
+    /// sampled every [`TelemetryConfig::sample_interval`] cycles, plus
+    /// the optional congestion timeline and flight recorder.
+    ///
+    /// Telemetry composes with the activity fast path (see
+    /// [`TelemetryConfig`]); it never changes simulated behaviour.
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        assert!(
+            config.sample_interval > 0,
+            "sample interval must be positive"
+        );
+        let mut registry = MetricsRegistry::new();
+        let mut sw_metrics = Vec::with_capacity(self.switches.len());
+        for s in 0..self.switches.len() {
+            let c = registry.add_component(format!("sw{s}"));
+            sw_metrics.push(SwitchMetrics {
+                flits: registry.counter(c, "flits_forwarded"),
+                grants: registry.counter(c, "arb_grants"),
+                denials: registry.counter(c, "arb_denials"),
+                retx: registry.counter(c, "retransmissions"),
+                timeouts: registry.counter(c, "ack_timeouts"),
+                queue: registry.gauge(c, "queue_depth"),
+            });
+        }
+        let link_labels = self.channel_labels();
+        let mut ch_metrics = Vec::with_capacity(self.channels.len());
+        for label in &link_labels {
+            let c = registry.add_component(format!("link:{label}"));
+            ch_metrics.push(ChannelMetrics {
+                traversals: registry.counter(c, "flit_traversals"),
+                corrupted: registry.counter(c, "flits_corrupted"),
+                retx: registry.counter(c, "retransmissions"),
+                acks: registry.counter(c, "acks"),
+                nacks: registry.counter(c, "nacks"),
+            });
+        }
+        let ni_component = |registry: &mut MetricsRegistry, name: String| {
+            let c = registry.add_component(name);
+            NiMetrics {
+                packets: registry.counter(c, "packets_sent"),
+                flits: registry.counter(c, "flits_sent"),
+                stalls: registry.counter(c, "packetization_stalls"),
+            }
+        };
+        let ini_metrics = self
+            .initiators
+            .iter()
+            .map(|ni| ni_component(&mut registry, format!("ini{}", ni.id().0)))
+            .collect();
+        let tgt_metrics = self
+            .targets
+            .iter()
+            .map(|ni| ni_component(&mut registry, format!("tgt{}", ni.id().0)))
+            .collect();
+        let switch_labels: Vec<String> =
+            (0..self.switches.len()).map(|s| format!("sw{s}")).collect();
+        let timeline = config
+            .timeline
+            .then(|| CongestionTimeline::new(config.sample_interval, link_labels, switch_labels));
+        let flight = (config.flight_recorder_depth > 0)
+            .then(|| FlightRecorder::new(config.flight_recorder_depth, self.channels.len()));
+        self.telemetry = Some(Box::new(TelemetryState {
+            config,
+            registry,
+            sw_metrics,
+            ch_metrics,
+            ini_metrics,
+            tgt_metrics,
+            timeline,
+            last_traversals: vec![0; self.channels.len()],
+            window_start: self.now.as_u64(),
+            flight,
+        }));
+    }
+
+    /// The metric registry, when telemetry is enabled.
+    pub fn telemetry_registry(&self) -> Option<&MetricsRegistry> {
+        self.telemetry.as_ref().map(|t| &t.registry)
+    }
+
+    /// The congestion timeline, when telemetry collects one.
+    pub fn timeline(&self) -> Option<&CongestionTimeline> {
+        self.telemetry.as_ref().and_then(|t| t.timeline.as_ref())
+    }
+
+    /// Rendered timeline JSON, when telemetry collects one.
+    pub fn timeline_json(&self) -> Option<String> {
+        self.timeline().map(CongestionTimeline::render)
+    }
+
+    /// The flight recorder, when telemetry runs one.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.telemetry.as_ref().and_then(|t| t.flight.as_ref())
+    }
+
+    /// Rendered flight-recorder dump: the frozen last-K events when an
+    /// invariant tripped, otherwise the live ring. Empty without a
+    /// recorder.
+    pub fn flight_dump_rendered(&self) -> Vec<String> {
+        let Some(fr) = self.flight_recorder() else {
+            return Vec::new();
+        };
+        let labels = self.channel_labels();
+        fr.snapshot()
+            .iter()
+            .map(|ev| {
+                ev.render(
+                    labels
+                        .get(ev.channel as usize)
+                        .map(String::as_str)
+                        .unwrap_or("?"),
+                )
+            })
+            .collect()
+    }
+
+    /// Chrome/Perfetto `trace_event` JSON of the flight recorder's
+    /// flit lifetimes (inject→route→deliver spans), when a recorder
+    /// runs.
+    pub fn perfetto_json(&self) -> Option<String> {
+        self.flight_recorder()
+            .map(|fr| perfetto_trace(&fr.snapshot(), &self.channel_labels()).render())
+    }
+
+    /// Samples component counters into the registry and timeline. The
+    /// take-put dance moves the boxed state out of `self` so the scan
+    /// can use `&self` accessors freely.
+    fn sample_telemetry(&mut self, cycle: u64) {
+        let Some(mut t) = self.telemetry.take() else {
+            return;
+        };
+        let mut queue_w: Vec<u32> = Vec::new();
+        for (s, sw) in self.switches.iter().enumerate() {
+            let st = sw.stats();
+            let (_, qmax) = sw.queue_occupancy();
+            let ids = &t.sw_metrics[s];
+            // A crossbar traversal is a granted arbitration; contention
+            // stalls are the denials.
+            t.registry.set(ids.flits, st.flits_routed);
+            t.registry.set(ids.grants, st.flits_routed);
+            t.registry.set(ids.denials, st.contention_stalls);
+            t.registry.set(ids.retx, st.retransmissions);
+            t.registry.set(ids.timeouts, st.ack_timeouts);
+            t.registry.sample(ids.queue, qmax as u64);
+            if t.timeline.is_some() {
+                queue_w.push(qmax as u32);
+            }
+        }
+        let mut link_w: Vec<u32> = Vec::new();
+        for (i, ch) in self.channels.iter().enumerate() {
+            let ids = &t.ch_metrics[i];
+            let trav = ch.link.traversals();
+            t.registry.set(ids.traversals, trav);
+            t.registry.set(ids.corrupted, ch.link.corrupted());
+            t.registry
+                .set(ids.retx, self.producer_tx(ch.producer).retransmissions());
+            let rx = self.consumer_rx(ch.consumer);
+            t.registry.set(ids.acks, rx.accepted());
+            t.registry.set(ids.nacks, rx.rejected());
+            if t.timeline.is_some() {
+                link_w.push(trav.saturating_sub(t.last_traversals[i]) as u32);
+                t.last_traversals[i] = trav;
+            }
+        }
+        for (n, ni) in self.initiators.iter().enumerate() {
+            let ids = &t.ini_metrics[n];
+            let st = ni.stats();
+            t.registry.set(ids.packets, st.packets_sent);
+            t.registry.set(ids.flits, st.flits_sent);
+            t.registry.set(ids.stalls, ni.packetization_stalls());
+        }
+        for (n, ni) in self.targets.iter().enumerate() {
+            let ids = &t.tgt_metrics[n];
+            let st = ni.stats();
+            t.registry.set(ids.packets, st.packets_sent);
+            t.registry.set(ids.flits, st.flits_sent);
+            t.registry.set(ids.stalls, ni.packetization_stalls());
+        }
+        if let Some(tl) = &mut t.timeline {
+            tl.push(t.window_start, link_w, queue_w);
+            t.window_start = cycle + 1;
+        }
+        t.registry.note_epoch();
+        self.telemetry = Some(t);
+    }
+
+    /// Forces a final sample covering any cycles since the last epoch
+    /// boundary (the trailing partial timeline window). Call after a
+    /// run, before exporting telemetry.
+    pub fn flush_telemetry(&mut self) {
+        let now = self.now.as_u64();
+        let Some(t) = &self.telemetry else { return };
+        if now > t.window_start {
+            self.sample_telemetry(now - 1);
+        }
+    }
+
+    /// Per-run telemetry digest: total and per-link retransmissions
+    /// plus the deepest output queue any switch reached. A pure
+    /// function of end-of-run component counters — deterministic and
+    /// available with or without [`enable_telemetry`](Self::enable_telemetry).
+    pub fn telemetry_summary(&self) -> TelemetrySummary {
+        let mut links = Vec::new();
+        let mut total = 0u64;
+        for (i, ch) in self.channels.iter().enumerate() {
+            let r = self.producer_tx(ch.producer).retransmissions();
+            total += r;
+            if r > 0 {
+                links.push((self.channel_label(i).expect("in range"), r));
+            }
+        }
+        let mut peak = 0u64;
+        let mut peak_switch = String::new();
+        for (s, sw) in self.switches.iter().enumerate() {
+            let d = sw.stats().max_queue_depth as u64;
+            if peak_switch.is_empty() || d > peak {
+                peak = d;
+                peak_switch = format!("sw{s}");
+            }
+        }
+        TelemetrySummary {
+            total_retransmissions: total,
+            link_retransmissions: links,
+            peak_queue_depth: peak,
+            peak_queue_switch: peak_switch,
+        }
+    }
+
     /// Arms a flow-control sabotage mode on **every** sender in the
     /// network (switch output ports and NI network ports). Conformance
     /// hook: a sabotaged network must trip the protocol monitor.
@@ -669,6 +1039,9 @@ impl Noc {
         // `note_*` calls can run between mutable component accesses.
         let mut monitor = self.monitor.take();
         let cycle = self.now.as_u64();
+        // Violation count going in: if it grows this cycle, the flight
+        // recorder freezes its ring at the end of the step.
+        let viol_before = monitor.as_ref().map_or(0, |m| m.violations().len());
 
         // Phase 1: links shift.
         for (ch, &active) in self.channels.iter_mut().zip(self.chan_active.iter()) {
@@ -706,6 +1079,9 @@ impl Noc {
             let switches = &mut self.switches;
             let initiators = &mut self.initiators;
             let targets = &mut self.targets;
+            // Flight recording rides the same skip logic: an inactive
+            // channel transmits nothing, so skipping it loses no event.
+            let mut flight = self.telemetry.as_mut().and_then(|t| t.flight.as_mut());
             for (i, (ch, &active)) in self
                 .channels
                 .iter_mut()
@@ -724,6 +1100,17 @@ impl Noc {
                 if let (Some(m), Some(lf)) = (monitor.as_mut(), &out) {
                     m.note_transmit(i, lf.seq, &lf.flit, cycle);
                 }
+                if let (Some(fr), Some(lf)) = (flight.as_mut(), &out) {
+                    let kind = fr.classify_transmit(i, lf.seq);
+                    fr.record(TraceEvent {
+                        cycle,
+                        channel: i as u32,
+                        packet_id: lf.flit.meta.packet_id,
+                        injected_at: lf.flit.meta.injected_at.as_u64(),
+                        seq: lf.seq,
+                        kind,
+                    });
+                }
                 ch.fwd_latch = out;
             }
         }
@@ -740,6 +1127,7 @@ impl Noc {
             let initiators = &mut self.initiators;
             let targets = &mut self.targets;
             let now = self.now;
+            let mut flight = self.telemetry.as_mut().and_then(|t| t.flight.as_mut());
             for (i, (ch, &active)) in self
                 .channels
                 .iter_mut()
@@ -751,6 +1139,29 @@ impl Noc {
                 }
                 let fwd = ch.fwd_arrival.take();
                 let consumer = ch.consumer;
+                if let (Some(fr), Some(lf)) = (flight.as_mut(), &fwd) {
+                    // Wire-level classification: a corrupted flit will be
+                    // nACKed; an intact tail reaching an NI leaves the
+                    // network. (A stale duplicate still logs an arrival —
+                    // the recorder shows what crossed the link.)
+                    let kind = if lf.corrupted {
+                        TraceEventKind::CorruptArrival
+                    } else if !matches!(consumer, Endpoint::SwitchPort { .. })
+                        && lf.flit.kind.is_tail()
+                    {
+                        TraceEventKind::Deliver
+                    } else {
+                        TraceEventKind::Arrival
+                    };
+                    fr.record(TraceEvent {
+                        cycle,
+                        channel: i as u32,
+                        packet_id: lf.flit.meta.packet_id,
+                        injected_at: lf.flit.meta.injected_at.as_u64(),
+                        seq: lf.seq,
+                        kind,
+                    });
+                }
                 // An accept is visible as a bump of the receiver's counter;
                 // the accepted flit is then the arriving one (`fwd` is
                 // `Copy`, so watching it costs nothing and nothing is
@@ -792,6 +1203,16 @@ impl Noc {
                 m.check_endpoints(i, tx, rx, cycle);
             }
         }
+        // Flight recorder: the first tripped invariant freezes the ring,
+        // preserving the last-K events around the violation however long
+        // the run continues.
+        if let Some(m) = &monitor {
+            if m.violations().len() > viol_before {
+                if let Some(fr) = self.telemetry.as_mut().and_then(|t| t.flight.as_mut()) {
+                    fr.freeze(cycle);
+                }
+            }
+        }
         // NI housekeeping.
         for ni in &mut self.initiators {
             ni.tick(self.now);
@@ -800,6 +1221,14 @@ impl Noc {
             ni.tick(self.now);
         }
         self.monitor = monitor;
+        // Telemetry epoch boundary: scan component counters into the
+        // registry (and close a timeline window) once per interval. This
+        // is the whole per-cycle cost of the metric layer.
+        if let Some(t) = &self.telemetry {
+            if (cycle + 1).is_multiple_of(t.config.sample_interval) {
+                self.sample_telemetry(cycle);
+            }
+        }
         // Re-derive the flags for the next cycle (and the O(1) idle
         // check). Slow-path steps leave them invalid: observers and fault
         // injection do not pay the refresh cost.

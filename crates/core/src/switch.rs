@@ -265,6 +265,19 @@ impl Switch {
         self.outputs[port].queue.len()
     }
 
+    /// `(total, max)` output-queue occupancy across all ports right now
+    /// — a single-pass congestion probe for telemetry sampling.
+    pub fn queue_occupancy(&self) -> (usize, usize) {
+        let mut total = 0;
+        let mut max = 0;
+        for o in &self.outputs {
+            let len = o.queue.len();
+            total += len;
+            max = max.max(len);
+        }
+        (total, max)
+    }
+
     /// True when output `port` has pending transmit-side work: queued
     /// flits, unacknowledged flits in the retransmission window (which may
     /// need resending or must tick the ACK timeout), or a forced stall

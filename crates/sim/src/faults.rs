@@ -184,11 +184,16 @@ pub struct RunSummary {
     pub avg_latency: f64,
     /// Whether the network drained within the cycle budget.
     pub drained: bool,
+    /// Per-component telemetry digest (hot links, peak queue depth),
+    /// when the run collected one. A pure function of end-of-run
+    /// component counters, so reports stay byte-deterministic at any
+    /// worker count.
+    pub telemetry: Option<crate::telemetry::TelemetrySummary>,
 }
 
 impl RunSummary {
     fn to_json(&self) -> Json {
-        Json::object()
+        let mut b = Json::object()
             .field("cycles", Json::UInt(self.cycles))
             .field("packets_sent", Json::UInt(self.packets_sent))
             .field("packets_delivered", Json::UInt(self.packets_delivered))
@@ -199,8 +204,11 @@ impl RunSummary {
             .field("ack_timeouts", Json::UInt(self.ack_timeouts))
             .field("stall_cycles", Json::UInt(self.stall_cycles))
             .field("avg_latency", Json::Fixed(self.avg_latency, 3))
-            .field("drained", Json::Bool(self.drained))
-            .build()
+            .field("drained", Json::Bool(self.drained));
+        if let Some(telemetry) = &self.telemetry {
+            b = b.field("telemetry", telemetry.to_json());
+        }
+        b.build()
     }
 }
 
@@ -220,11 +228,15 @@ pub struct FaultRun {
     pub latency_factor: f64,
     /// True when no invariant was violated and the network drained.
     pub pass: bool,
+    /// Flight-recorder dump (rendered last-K flit events), captured when
+    /// the run tripped an invariant or failed to drain. Empty on a
+    /// clean run.
+    pub flight_dump: Vec<String>,
 }
 
 impl FaultRun {
     fn to_json(&self) -> Json {
-        Json::object()
+        let mut b = Json::object()
             .field("fault", Json::str(&self.fault))
             .field("rate", Json::Fixed(self.rate, 4))
             .field("pass", Json::Bool(self.pass))
@@ -232,9 +244,14 @@ impl FaultRun {
             .field(
                 "violations",
                 Json::Array(self.violations.iter().map(Json::str).collect()),
-            )
-            .field("summary", self.summary.to_json())
-            .build()
+            );
+        if !self.flight_dump.is_empty() {
+            b = b.field(
+                "flight_dump",
+                Json::Array(self.flight_dump.iter().map(Json::str).collect()),
+            );
+        }
+        b.field("summary", self.summary.to_json()).build()
     }
 }
 
@@ -332,6 +349,12 @@ mod tests {
             stall_cycles: 0,
             avg_latency: 31.25,
             drained: true,
+            telemetry: Some(crate::telemetry::TelemetrySummary {
+                total_retransmissions: 2,
+                link_retransmissions: vec![("sw0.p1->sw1.p0".into(), 2)],
+                peak_queue_depth: 3,
+                peak_queue_switch: "sw0".into(),
+            }),
         };
         let report = CampaignReport {
             name: "demo".into(),
@@ -345,6 +368,7 @@ mod tests {
                 violations: vec![],
                 latency_factor: 1.0,
                 pass: true,
+                flight_dump: vec!["[cycle 90] transmit ch0(a->b) pkt 1 seq 0".into()],
             }],
             pass: true,
         };
@@ -354,6 +378,8 @@ mod tests {
         assert!(a.contains("\"campaign\": \"demo\""));
         assert!(a.contains("\"rate\": 0.0100"));
         assert!(a.contains("\"avg_latency\": 31.250"));
+        assert!(a.contains("\"peak_queue_depth\": 3"));
+        assert!(a.contains("\"flight_dump\""));
         assert_eq!(report.failures().count(), 0);
     }
 }

@@ -13,6 +13,9 @@
 //! * deterministic fan-out of independent seeded runs ([`parallel`]),
 //! * statistics gathering ([`stats`]),
 //! * value-change-dump tracing ([`trace::VcdWriter`]),
+//! * low-overhead observability ([`telemetry`]): per-component metric
+//!   registry, congestion timelines, flight-recorder event traces with
+//!   Chrome/Perfetto export,
 //! * fault-model specifications and campaign reports ([`faults`]) with a
 //!   byte-stable JSON renderer ([`json`]).
 //!
@@ -48,6 +51,7 @@ pub mod kernel;
 pub mod parallel;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -56,4 +60,8 @@ pub use json::Json;
 pub use kernel::{Clocked, Register, Simulation};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, RunningStats};
+pub use telemetry::{
+    CongestionTimeline, FlightRecorder, MetricsRegistry, TelemetrySummary, TraceEvent,
+    TraceEventKind,
+};
 pub use time::Cycle;

@@ -23,7 +23,7 @@
 //! ```
 
 use xpipes::monitor::MonitorConfig;
-use xpipes::noc::Noc;
+use xpipes::noc::{Noc, TelemetryConfig};
 use xpipes::XpipesError;
 use xpipes_sim::{CampaignReport, FaultKind, FaultPlan, FaultRun, RunSummary};
 use xpipes_topology::builders::mesh;
@@ -48,6 +48,9 @@ pub struct CampaignConfig {
     /// Liveness bound handed to the protocol monitor (cycles without
     /// progress on a channel holding undelivered flits).
     pub liveness_bound: u64,
+    /// Flight-recorder depth (recent flit-level events kept per run);
+    /// failing runs embed the rendered dump in the report. 0 disables.
+    pub flight_recorder_depth: usize,
 }
 
 impl CampaignConfig {
@@ -61,6 +64,7 @@ impl CampaignConfig {
             injection_rate: 0.02,
             error_rates: vec![0.01, 0.03, 0.05],
             liveness_bound: 2500,
+            flight_recorder_depth: 512,
         }
     }
 }
@@ -86,18 +90,23 @@ fn run_seed(master: u64, index: u64) -> u64 {
     master.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
-/// Executes one monitored run; returns measurements and rendered
-/// violations (monitor findings plus end-to-end delivery checks).
+/// Executes one monitored run; returns measurements, rendered
+/// violations (monitor findings plus end-to-end delivery checks), and —
+/// for failing runs with a flight recorder — the rendered event dump.
 fn run_one(
     spec: &NocSpec,
     plan: &FaultPlan,
     cfg: &CampaignConfig,
     seed: u64,
-) -> Result<(RunSummary, Vec<String>), XpipesError> {
+) -> Result<(RunSummary, Vec<String>, Vec<String>), XpipesError> {
     let mut noc = Noc::with_faults(spec, seed, plan)?;
     noc.enable_monitor(MonitorConfig {
         liveness_bound: cfg.liveness_bound,
         max_violations: 64,
+    });
+    noc.enable_telemetry(TelemetryConfig {
+        flight_recorder_depth: cfg.flight_recorder_depth,
+        ..TelemetryConfig::default()
     });
     let inj_cfg = InjectorConfig::new(cfg.injection_rate, Pattern::Uniform);
     let mut inj = Injector::new(spec, inj_cfg, seed ^ 0x5EED)?;
@@ -133,6 +142,7 @@ fn run_one(
     } else {
         0.0
     };
+    noc.flush_telemetry();
     let summary = RunSummary {
         cycles: stats.cycles,
         packets_sent: stats.packets_sent,
@@ -145,8 +155,17 @@ fn run_one(
         stall_cycles: stats.stall_cycles,
         avg_latency,
         drained,
+        telemetry: Some(noc.telemetry_summary()),
     };
-    Ok((summary, violations))
+    // Dump the recorder only for failing runs: the report stays compact
+    // and byte-deterministic, and the dump is the frozen pre-violation
+    // window when the monitor tripped mid-run.
+    let flight_dump = if violations.is_empty() {
+        Vec::new()
+    } else {
+        noc.flight_dump_rendered()
+    };
+    Ok((summary, violations, flight_dump))
 }
 
 /// One grid point awaiting execution: the baseline (index 0) or a
@@ -188,13 +207,13 @@ fn merge_results(
     faults: &[FaultKind],
     cfg: &CampaignConfig,
     jobs: &[CampaignJob],
-    results: Vec<(RunSummary, Vec<String>)>,
+    results: Vec<(RunSummary, Vec<String>, Vec<String>)>,
 ) -> CampaignReport {
     debug_assert_eq!(jobs.len(), results.len());
     let mut results = results.into_iter();
-    let (baseline, base_violations) = results.next().expect("baseline job always present");
+    let (baseline, base_violations, _) = results.next().expect("baseline job always present");
     let mut runs = Vec::with_capacity(jobs.len() - 1);
-    for (job, (summary, violations)) in jobs[1..].iter().zip(results) {
+    for (job, (summary, violations, flight_dump)) in jobs[1..].iter().zip(results) {
         let kind = job.kind.expect("grid jobs carry a fault kind");
         let latency_factor = if baseline.avg_latency > 0.0 && summary.avg_latency > 0.0 {
             summary.avg_latency / baseline.avg_latency
@@ -207,6 +226,7 @@ fn merge_results(
             rate: job.rate,
             summary,
             violations,
+            flight_dump,
             latency_factor,
             pass,
         });
@@ -284,13 +304,19 @@ mod tests {
     #[test]
     fn baseline_is_clean_and_drains() {
         let cfg = CampaignConfig::new(11, 800);
-        let (summary, violations) =
+        let (summary, violations, flight_dump) =
             run_one(&campaign_spec(), &FaultPlan::none(), &cfg, 11).unwrap();
         assert!(violations.is_empty(), "{violations:?}");
+        assert!(flight_dump.is_empty(), "clean runs carry no dump");
         assert!(summary.drained);
         assert!(summary.packets_sent > 0);
         assert_eq!(summary.packets_sent, summary.packets_delivered);
         assert_eq!(summary.flits_corrupted, 0);
+        let telem = summary
+            .telemetry
+            .as_ref()
+            .expect("campaign runs collect telemetry");
+        assert_eq!(telem.total_retransmissions, summary.retransmissions);
     }
 
     #[test]
