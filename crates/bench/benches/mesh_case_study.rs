@@ -51,7 +51,7 @@ fn main() {
     print_tables();
     let mut c = Criterion::default().sample_size(10).configure_from_args();
     c.bench_function("map_d26_onto_3x4_mesh", |b| {
-        let graph = apps::d26_media_soc();
+        let graph = apps::d26_media_soc().expect("app builds");
         b.iter(|| {
             let m = map_to_mesh(black_box(&graph), 3, 4, 2, 1).expect("fits");
             build_spec(&graph, &m, 64).expect("valid spec")

@@ -47,7 +47,7 @@ fn main() {
     print_tables();
     let mut c = Criterion::default().sample_size(10).configure_from_args();
     c.bench_function("anneal_vopd_3x4", |b| {
-        let graph = apps::vopd();
+        let graph = apps::vopd().expect("app builds");
         b.iter(|| map_to_mesh(black_box(&graph), 3, 4, 1, 7).expect("fits"))
     });
     c.final_summary();

@@ -45,7 +45,7 @@ fn main() {
     print_tables();
     let mut c = Criterion::default().sample_size(10).configure_from_args();
     c.bench_function("custom_topology_vopd", |b| {
-        let graph = apps::vopd();
+        let graph = apps::vopd().expect("app builds");
         b.iter(|| custom_topology(black_box(&graph), 32, 3).expect("constructible"))
     });
     c.final_summary();

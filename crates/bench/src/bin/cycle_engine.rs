@@ -17,21 +17,31 @@
 //! `--max-telemetry-overhead F` runs an off/on comparison and exits
 //! nonzero when the fractional slowdown exceeds `F`.
 //!
+//! Attribution flags: `--attribution` attaches the per-packet latency
+//! attribution ledger to every workload and writes the attribution
+//! benchmark document (default `BENCH_attribution.json`, override with
+//! `--attribution-out PATH`); `--diff BASELINE.json` compares the fresh
+//! attribution document against a recorded one and prints the ranked
+//! `(channel, phase)` movers — the run-diff regression explainer.
+//!
 //! ```text
 //! cycle_engine --cycles 200000
 //! cycle_engine --cycles 50000 --check BENCH_cycle_engine.json --tolerance 0.2
 //! cycle_engine --cycles 50000 --telemetry --timeline timeline.json \
 //!              --flight-recorder --perfetto trace.json
 //! cycle_engine --cycles 50000 --max-telemetry-overhead 0.05
+//! cycle_engine --cycles 50000 --attribution --diff BENCH_attribution.json
 //! ```
 
 use std::process::ExitCode;
 
 use xpipes::noc::TelemetryConfig;
 use xpipes_bench::cycle_engine::{
+    attribution_bench_json, diff_attribution_bench, measure_attribution_overhead,
     measure_telemetry_overhead, parse_cycles_per_sec, report_json, run_workload,
-    run_workload_instrumented, Workload, WorkloadResult, DEFAULT_CYCLES,
+    run_workload_attributed, run_workload_instrumented, Workload, WorkloadResult, DEFAULT_CYCLES,
 };
+use xpipes_sim::Json;
 
 struct Args {
     cycles: u64,
@@ -43,6 +53,9 @@ struct Args {
     flight_recorder: bool,
     perfetto: Option<String>,
     max_telemetry_overhead: Option<f64>,
+    attribution: bool,
+    attribution_out: String,
+    diff: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -56,6 +69,9 @@ fn parse_args() -> Result<Args, String> {
         flight_recorder: false,
         perfetto: None,
         max_telemetry_overhead: None,
+        attribution: false,
+        attribution_out: "BENCH_attribution.json".to_string(),
+        diff: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,12 +100,16 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad --max-telemetry-overhead: {e}"))?,
                 );
             }
+            "--attribution" => args.attribution = true,
+            "--attribution-out" => args.attribution_out = value("--attribution-out")?,
+            "--diff" => args.diff = Some(value("--diff")?),
             "--help" | "-h" => {
                 println!(
                     "usage: cycle_engine [--cycles N] [--out PATH] \
                      [--check BASELINE.json] [--tolerance F] [--telemetry] \
                      [--timeline PATH] [--flight-recorder] [--perfetto PATH] \
-                     [--max-telemetry-overhead F]"
+                     [--max-telemetry-overhead F] [--attribution] \
+                     [--attribution-out PATH] [--diff BASELINE.json]"
                 );
                 std::process::exit(0);
             }
@@ -128,14 +148,24 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.diff.is_some() && !args.attribution {
+        eprintln!("error: --diff requires --attribution");
+        return ExitCode::from(2);
+    }
     let instrument = args.telemetry
         || args.timeline.is_some()
         || args.flight_recorder
         || args.perfetto.is_some();
     let workloads = [Workload::UniformRandom, Workload::Hotspot];
     let mut results: Vec<WorkloadResult> = Vec::new();
+    let mut attribution_reports: Vec<(&'static str, Json)> = Vec::new();
     for w in workloads {
-        let run = if instrument {
+        let run = if args.attribution {
+            run_workload_attributed(w, args.cycles).map(|a| {
+                attribution_reports.push((w.name(), a.attribution));
+                Ok(a.result)
+            })
+        } else if instrument {
             run_workload_instrumented(w, args.cycles, telemetry_config(&args)).map(|inst| {
                 // Artifacts come from the uniform-random workload (the
                 // canonical reference); the hotspot run just exercises
@@ -174,6 +204,30 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     println!("report written to {}", args.out);
+    if args.attribution {
+        let doc = attribution_bench_json(args.cycles, std::mem::take(&mut attribution_reports));
+        if let Err(code) =
+            write_artifact(&args.attribution_out, "attribution report", &doc.render())
+        {
+            return code;
+        }
+        if let Some(path) = &args.diff {
+            let baseline = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read attribution baseline {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match diff_attribution_bench(&baseline, &doc) {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
     if let Some(path) = args.check {
         let baseline = match std::fs::read_to_string(&path) {
             Ok(t) => t,
@@ -182,11 +236,18 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
+        if let Err(e) = Json::parse(&baseline) {
+            eprintln!("error: baseline {path} is not valid JSON: {e}");
+            return ExitCode::from(2);
+        }
         let mut regressed = false;
         for r in &results {
             let Some(base) = parse_cycles_per_sec(&baseline, r.name) else {
-                eprintln!("warning: baseline has no entry for {}", r.name);
-                continue;
+                eprintln!(
+                    "error: baseline {path} has no entry for workload {}",
+                    r.name
+                );
+                return ExitCode::from(2);
             };
             let floor = base * (1.0 - args.tolerance);
             let status = if r.cycles_per_sec < floor {
@@ -231,6 +292,31 @@ fn main() -> ExitCode {
                 budget * 100.0
             );
             return ExitCode::FAILURE;
+        }
+        if args.attribution {
+            let a = match measure_attribution_overhead(Workload::UniformRandom, args.cycles, 3) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("error: attribution overhead measurement failed: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            println!(
+                "attribution overhead: baseline {:>12.0} cycles/s  attributed {:>12.0} cycles/s  \
+                 overhead {:.1}% (budget {:.1}%)",
+                a.baseline_cycles_per_sec,
+                a.telemetry_cycles_per_sec,
+                a.overhead * 100.0,
+                budget * 100.0
+            );
+            if a.overhead > budget {
+                eprintln!(
+                    "error: attribution overhead {:.1}% exceeds budget {:.1}%",
+                    a.overhead * 100.0,
+                    budget * 100.0
+                );
+                return ExitCode::FAILURE;
+            }
         }
     }
     ExitCode::SUCCESS

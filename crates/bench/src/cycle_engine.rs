@@ -116,11 +116,15 @@ fn run_timed(
     workload: Workload,
     cycles: u64,
     telemetry: Option<TelemetryConfig>,
+    attribution: bool,
 ) -> Result<(Noc, WorkloadResult), XpipesError> {
     let spec = reference_spec();
     let mut noc = Noc::with_seed(&spec, BENCH_SEED)?;
     if let Some(cfg) = telemetry {
         noc.enable_telemetry(cfg);
+    }
+    if attribution {
+        noc.enable_attribution();
     }
     let mut inj = Injector::new(
         &spec,
@@ -154,7 +158,7 @@ fn run_timed(
 ///
 /// Propagates network-assembly failures.
 pub fn run_workload(workload: Workload, cycles: u64) -> Result<WorkloadResult, XpipesError> {
-    run_timed(workload, cycles, None).map(|(_, r)| r)
+    run_timed(workload, cycles, None, false).map(|(_, r)| r)
 }
 
 /// A workload measurement taken with the telemetry layer attached, plus
@@ -184,7 +188,7 @@ pub fn run_workload_instrumented(
     cycles: u64,
     config: TelemetryConfig,
 ) -> Result<InstrumentedRun, XpipesError> {
-    let (noc, result) = run_timed(workload, cycles, Some(config))?;
+    let (noc, result) = run_timed(workload, cycles, Some(config), false)?;
     Ok(InstrumentedRun {
         result,
         registry_json: noc
@@ -195,6 +199,101 @@ pub fn run_workload_instrumented(
         timeline_json: noc.timeline_json(),
         perfetto_json: noc.perfetto_json(),
     })
+}
+
+/// A workload measurement taken with the per-packet attribution ledger
+/// attached, plus the attribution report it produced.
+#[derive(Debug)]
+pub struct AttributedRun {
+    /// The timed measurement (the work fingerprint must match an
+    /// unattributed run exactly).
+    pub result: WorkloadResult,
+    /// The full attribution report (`xpipes_sim::attribution` schema),
+    /// deterministic for the fixed seed.
+    pub attribution: Json,
+}
+
+/// Runs one reference workload with the attribution ledger enabled and
+/// returns the measurement together with the report.
+///
+/// # Errors
+///
+/// Propagates network-assembly failures.
+pub fn run_workload_attributed(
+    workload: Workload,
+    cycles: u64,
+) -> Result<AttributedRun, XpipesError> {
+    let (noc, result) = run_timed(workload, cycles, None, true)?;
+    Ok(AttributedRun {
+        result,
+        attribution: noc.attribution_report().expect("attribution was enabled"),
+    })
+}
+
+/// Renders the attribution benchmark document: both reference workloads'
+/// attribution reports keyed by workload name, with the run parameters.
+/// Everything inside is measured in cycles (no wall-clock), so the
+/// document is byte-identical on any machine for the same `cycles`.
+pub fn attribution_bench_json(cycles: u64, reports: Vec<(&'static str, Json)>) -> Json {
+    let workloads = reports
+        .into_iter()
+        .map(|(name, report)| {
+            Json::object()
+                .field("name", Json::str(name))
+                .field("report", report)
+                .build()
+        })
+        .collect();
+    Json::object()
+        .field("bench", Json::str("cycle_engine_attribution"))
+        .field("seed", Json::UInt(BENCH_SEED))
+        .field("injection_rate", Json::Fixed(BENCH_RATE, 3))
+        .field("cycles", Json::UInt(cycles))
+        .field("workloads", Json::Array(workloads))
+        .build()
+}
+
+/// Looks up a workload's attribution report inside an attribution
+/// benchmark document.
+fn bench_workload_report<'a>(doc: &'a Json, name: &str) -> Option<&'a Json> {
+    doc.get("workloads")?
+        .as_array()?
+        .iter()
+        .find(|w| w.get("name").and_then(Json::as_str) == Some(name))?
+        .get("report")
+}
+
+/// Diffs a freshly measured attribution benchmark document against a
+/// previously recorded baseline, workload by workload, and renders the
+/// ranked movers. Byte-deterministic for deterministic inputs.
+///
+/// # Errors
+///
+/// A one-line message when the baseline text is not an attribution
+/// benchmark document or misses a workload the current document has.
+pub fn diff_attribution_bench(baseline_text: &str, current: &Json) -> Result<String, String> {
+    let baseline =
+        Json::parse(baseline_text).map_err(|e| format!("malformed attribution baseline: {e}"))?;
+    let current_workloads = current
+        .get("workloads")
+        .and_then(Json::as_array)
+        .ok_or("current attribution document has no workloads")?;
+    let mut out = String::new();
+    for w in current_workloads {
+        let name = w
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("current attribution document has an unnamed workload")?;
+        let cur_report = w.get("report").ok_or_else(|| {
+            format!("current attribution document: workload {name} has no report")
+        })?;
+        let base_report = bench_workload_report(&baseline, name)
+            .ok_or_else(|| format!("attribution baseline has no workload {name}"))?;
+        let d = xpipes_sim::attribution::diff(base_report, cur_report)?;
+        out.push_str(&format!("== {name} ==\n"));
+        out.push_str(&d.render(10));
+    }
+    Ok(out)
 }
 
 /// Telemetry overhead on a reference workload: the fractional slowdown
@@ -228,8 +327,8 @@ pub fn measure_telemetry_overhead(
     let mut best_off = f64::INFINITY;
     let mut best_on = f64::INFINITY;
     for _ in 0..trials {
-        let (_, off) = run_timed(workload, cycles, None)?;
-        let (_, on) = run_timed(workload, cycles, Some(TelemetryConfig::default()))?;
+        let (_, off) = run_timed(workload, cycles, None, false)?;
+        let (_, on) = run_timed(workload, cycles, Some(TelemetryConfig::default()), false)?;
         best_off = best_off.min(off.elapsed_s);
         best_on = best_on.min(on.elapsed_s);
     }
@@ -239,6 +338,37 @@ pub fn measure_telemetry_overhead(
         baseline_cycles_per_sec: baseline,
         telemetry_cycles_per_sec: with_telemetry,
         overhead: (1.0 - with_telemetry / baseline).max(0.0),
+    })
+}
+
+/// Measures attribution overhead on `workload` by interleaving `trials`
+/// bare and attribution-enabled runs and comparing the best of each —
+/// the same best-of protocol (and the same budget) as
+/// [`measure_telemetry_overhead`].
+///
+/// # Errors
+///
+/// Propagates network-assembly failures.
+pub fn measure_attribution_overhead(
+    workload: Workload,
+    cycles: u64,
+    trials: u32,
+) -> Result<TelemetryOverhead, XpipesError> {
+    let trials = trials.max(1);
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    for _ in 0..trials {
+        let (_, off) = run_timed(workload, cycles, None, false)?;
+        let (_, on) = run_timed(workload, cycles, None, true)?;
+        best_off = best_off.min(off.elapsed_s);
+        best_on = best_on.min(on.elapsed_s);
+    }
+    let baseline = cycles as f64 / best_off;
+    let with_attribution = cycles as f64 / best_on;
+    Ok(TelemetryOverhead {
+        baseline_cycles_per_sec: baseline,
+        telemetry_cycles_per_sec: with_attribution,
+        overhead: (1.0 - with_attribution / baseline).max(0.0),
     })
 }
 
@@ -335,6 +465,34 @@ mod tests {
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.flits_routed, b.flits_routed);
         assert_eq!(a.packets_delivered, b.packets_delivered);
+    }
+
+    #[test]
+    fn attributed_run_preserves_work_and_is_deterministic() {
+        let plain = run_workload(Workload::UniformRandom, 2000).unwrap();
+        let a = run_workload_attributed(Workload::UniformRandom, 2000).unwrap();
+        assert_eq!(plain.flits_routed, a.result.flits_routed);
+        assert_eq!(plain.packets_delivered, a.result.packets_delivered);
+        assert_eq!(plain.cycles, a.result.cycles);
+        let b = run_workload_attributed(Workload::UniformRandom, 2000).unwrap();
+        assert_eq!(a.attribution.render(), b.attribution.render());
+        let text = a.attribution.render();
+        assert!(text.contains("\"phase_totals\""));
+        assert!(text.contains("\"flows\""));
+    }
+
+    #[test]
+    fn self_diff_of_attribution_bench_reports_no_movers() {
+        let a = run_workload_attributed(Workload::UniformRandom, 1500).unwrap();
+        let doc =
+            attribution_bench_json(1500, vec![(Workload::UniformRandom.name(), a.attribution)]);
+        let text = diff_attribution_bench(&doc.render(), &doc).unwrap();
+        assert!(text.contains("== uniform_random_4x4 =="));
+        assert!(text.contains("no component moved"), "{text}");
+        assert!(
+            diff_attribution_bench("not json", &doc).is_err(),
+            "malformed baseline must be rejected"
+        );
     }
 
     #[test]

@@ -147,7 +147,7 @@ pub fn mesh_case_study() -> Result<MeshCaseStudy, EvalError> {
 
     // The 2.6 mm² claim: D26 (8 processors + 11 slaves) on a 3x4 mesh,
     // totalled for the two plausible widths of the case study.
-    let graph = apps::d26_media_soc();
+    let graph = apps::d26_media_soc()?;
     let mapping = map_to_mesh(&graph, 3, 4, 2, 1).map_err(XpipesError::from)?;
     let mut mesh_totals_mm2 = Vec::new();
     for w in [32u32, 64] {
@@ -233,7 +233,7 @@ pub struct ComparisonRow {
 ///
 /// Propagates evaluation failures when every candidate fails.
 pub fn topology_comparison(eval: &EvalConfig) -> Result<Vec<ComparisonRow>, EvalError> {
-    let graph = apps::vopd();
+    let graph = apps::vopd()?;
     let mut rows = Vec::new();
 
     let mut add = |name: &str, spec: &NocSpec| -> Result<(), EvalError> {
@@ -305,7 +305,7 @@ pub fn run_selection(app: &str) -> Result<xpipes_sunmap::selection::SelectionOut
         "pip" => apps::pip(),
         "h263enc" => apps::h263_enc_mp3_dec(),
         _ => apps::d26_media_soc(),
-    };
+    }?;
     let mut cfg = SelectionConfig::default();
     cfg.eval.warmup = 300;
     cfg.eval.window = 2000;

@@ -831,4 +831,30 @@ mod tests {
             seq = seq_next(seq);
         }
     }
+
+    /// The attribution engine restates the same modulo-64 sequence space
+    /// (same crate-dependency constraint as the flight recorder); every
+    /// in-order send must open a new span across several wraps.
+    #[test]
+    fn attribution_seq_space_matches_link_layer() {
+        use std::collections::BTreeMap;
+        use xpipes_sim::attribution::{AttributionEngine, ChannelConsumer, ChannelInfo};
+        let channels = vec![ChannelInfo {
+            label: "ini0->sw0.p0".into(),
+            stages: 1,
+            consumer: ChannelConsumer::Switch { extra: 0 },
+            producer_is_ni: true,
+        }];
+        let mut e = AttributionEngine::new(channels, BTreeMap::new(), Vec::new());
+        let mut seq = 0u8;
+        for i in 0..(3 * SEQ_MOD as u64) {
+            e.note_transmit(0, i, seq, true, true, 0, 0, i + 1);
+            assert_eq!(
+                e.in_flight() as u64,
+                i + 1,
+                "in-order send {i} misread as a replay"
+            );
+            seq = seq_next(seq);
+        }
+    }
 }

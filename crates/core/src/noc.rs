@@ -15,11 +15,16 @@
 //! 4. all consumers receive (input registers capture arrivals and return
 //!    ACK/nACK replies).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use xpipes_ocp::{Request, Response, SlaveMemory};
+use xpipes_sim::attribution::{
+    AttributionEngine, AttributionSummary, ChannelConsumer as AttrConsumer,
+    ChannelInfo as AttrChannel,
+};
+use xpipes_sim::json::Json;
 use xpipes_sim::telemetry::{
-    perfetto_trace, CongestionTimeline, FlightRecorder, MetricId, MetricsRegistry,
+    perfetto_trace_with, CongestionTimeline, FlightRecorder, MetricId, MetricsRegistry,
     TelemetrySummary, TraceEvent, TraceEventKind,
 };
 use xpipes_sim::trace::{SignalId, VcdWriter};
@@ -230,6 +235,11 @@ pub struct Noc {
     /// per-cycle stall loop, so they never touch `fault_rng`.
     stall_faults: bool,
     monitor: Option<ProtocolMonitor>,
+    /// Per-packet latency attribution ledger. Boxed like telemetry, and
+    /// like it deliberately NOT part of [`fast_path`](Self::fast_path)'s
+    /// gate: skipped channels transmit and accept nothing, so skipping
+    /// them loses no attribution event.
+    attribution: Option<Box<AttributionEngine>>,
     /// Per-channel activity flags for the step fast path: `false` means
     /// every phase of [`step`](Self::step) is provably a no-op for the
     /// channel this cycle (empty link, empty latches, no producer work).
@@ -429,6 +439,7 @@ impl Noc {
             // 1), so stall injection never disturbs link error draws.
             fault_rng: master_rng.child(0),
             monitor: None,
+            attribution: None,
             chan_active,
             sw_active,
             initiator_chan,
@@ -712,6 +723,92 @@ impl Noc {
         }
     }
 
+    /// Attaches the per-packet latency attribution ledger
+    /// (`xpipes_sim::attribution`): every delivered packet's end-to-end
+    /// latency is decomposed into named phases with an exact conservation
+    /// invariant, aggregated into per-flow histograms with worst-packet
+    /// exemplars. Enable before injecting traffic — packets already in
+    /// flight cannot be attributed.
+    ///
+    /// Attribution composes with the activity fast path and never changes
+    /// simulated behaviour, RNG streams, or traces.
+    pub fn enable_attribution(&mut self) {
+        let mut ni_labels = BTreeMap::new();
+        for ni in &self.initiators {
+            ni_labels.insert(ni.id().0, format!("ini{}", ni.id().0));
+        }
+        for ni in &self.targets {
+            ni_labels.insert(ni.id().0, format!("tgt{}", ni.id().0));
+        }
+        let channels = (0..self.channels.len())
+            .map(|i| {
+                let ch = &self.channels[i];
+                AttrChannel {
+                    label: self.channel_label(i).expect("in range"),
+                    stages: ch.link.stages() as u64,
+                    consumer: match ch.consumer {
+                        Endpoint::SwitchPort { switch, .. } => AttrConsumer::Switch {
+                            extra: self.switches[switch].extra_stages() as u64,
+                        },
+                        Endpoint::Initiator(idx) => AttrConsumer::Ni {
+                            id: self.initiators[idx].id().0,
+                        },
+                        Endpoint::Target(idx) => AttrConsumer::Ni {
+                            id: self.targets[idx].id().0,
+                        },
+                    },
+                    producer_is_ni: !matches!(ch.producer, Endpoint::SwitchPort { .. }),
+                }
+            })
+            .collect();
+        let mut grant_channel: Vec<Vec<usize>> = self
+            .switches
+            .iter()
+            .map(|sw| vec![usize::MAX; sw.config().outputs])
+            .collect();
+        for (i, ch) in self.channels.iter().enumerate() {
+            if let Endpoint::SwitchPort { switch, port } = ch.producer {
+                grant_channel[switch][port] = i;
+            }
+        }
+        for sw in &mut self.switches {
+            sw.set_record_grants(true);
+        }
+        self.attribution = Some(Box::new(AttributionEngine::new(
+            channels,
+            ni_labels,
+            grant_channel,
+        )));
+    }
+
+    /// The attribution engine, when enabled.
+    pub fn attribution(&self) -> Option<&AttributionEngine> {
+        self.attribution.as_deref()
+    }
+
+    /// The full attribution report (deterministic JSON), when enabled.
+    pub fn attribution_report(&self) -> Option<Json> {
+        self.attribution.as_deref().map(AttributionEngine::report)
+    }
+
+    /// The compact attribution digest for campaign reports, when enabled.
+    pub fn attribution_summary(&self) -> Option<AttributionSummary> {
+        self.attribution.as_deref().map(AttributionEngine::summary)
+    }
+
+    /// Forces output `port` of switch `switch` to stall for `cycles`
+    /// cycles, modelling persistent backpressure on one link.
+    /// Deterministic (no RNG involved) — the injected-regression hook for
+    /// attribution diff tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range switch or port.
+    pub fn stall_switch_output(&mut self, switch: usize, port: usize, cycles: u64) {
+        self.flags_valid = false;
+        self.switches[switch].stall_output(port, cycles);
+    }
+
     /// Human-readable label of channel `i` (`producer->consumer`), or
     /// `None` for an out-of-range index.
     pub fn channel_label(&self, i: usize) -> Option<String> {
@@ -851,8 +948,14 @@ impl Noc {
     /// flit lifetimes (inject→route→deliver spans), when a recorder
     /// runs.
     pub fn perfetto_json(&self) -> Option<String> {
-        self.flight_recorder()
-            .map(|fr| perfetto_trace(&fr.snapshot(), &self.channel_labels()).render())
+        self.flight_recorder().map(|fr| {
+            let extra = self
+                .attribution
+                .as_deref()
+                .map(AttributionEngine::perfetto_events)
+                .unwrap_or_default();
+            perfetto_trace_with(&fr.snapshot(), &self.channel_labels(), extra).render()
+        })
     }
 
     /// Samples component counters into the registry and timeline. The
@@ -1035,9 +1138,11 @@ impl Noc {
         // `skip` holds only while the flags are valid; every skipped
         // channel/switch is then provably inert for this whole cycle.
         let skip = fast && self.flags_valid;
-        // The monitor is moved out for the duration of the step so its
-        // `note_*` calls can run between mutable component accesses.
+        // The monitor and attribution engine are moved out for the
+        // duration of the step so their `note_*` calls can run between
+        // mutable component accesses.
         let mut monitor = self.monitor.take();
+        let mut attr = self.attribution.take();
         let cycle = self.now.as_u64();
         // Violation count going in: if it grows this cycle, the flight
         // recorder freezes its ring at the end of the step.
@@ -1100,6 +1205,18 @@ impl Noc {
                 if let (Some(m), Some(lf)) = (monitor.as_mut(), &out) {
                     m.note_transmit(i, lf.seq, &lf.flit, cycle);
                 }
+                if let (Some(a), Some(lf)) = (attr.as_deref_mut(), &out) {
+                    a.note_transmit(
+                        i,
+                        lf.flit.meta.packet_id,
+                        lf.seq,
+                        lf.flit.kind.is_head(),
+                        lf.flit.kind.is_tail(),
+                        lf.flit.meta.injected_at.as_u64(),
+                        lf.flit.meta.src_ni as usize,
+                        cycle,
+                    );
+                }
                 if let (Some(fr), Some(lf)) = (flight.as_mut(), &out) {
                     let kind = fr.classify_transmit(i, lf.seq);
                     fr.record(TraceEvent {
@@ -1120,6 +1237,16 @@ impl Noc {
                 continue;
             }
             sw.crossbar();
+        }
+        // Attribution: drain the crossbar tail grants collected in
+        // phase 3 (inert switches were skipped and collected nothing).
+        if let Some(a) = attr.as_deref_mut() {
+            for (s, sw) in self.switches.iter_mut().enumerate() {
+                for &(port, pkt) in sw.granted_tails() {
+                    a.note_grant(s, port, pkt, cycle);
+                }
+                sw.clear_granted_tails();
+            }
         }
         // Phase 4: consumers receive (produce reverse replies).
         {
@@ -1176,19 +1303,26 @@ impl Noc {
                             Endpoint::Target(idx) => targets[idx].link_rx().accepted(),
                         }
                     };
-                let accepted_before = match monitor {
-                    Some(_) => rx_accepted(switches, initiators, targets),
-                    None => 0,
+                let watch_accepts = monitor.is_some() || attr.is_some();
+                let accepted_before = if watch_accepts {
+                    rx_accepted(switches, initiators, targets)
+                } else {
+                    0
                 };
                 let reply = match consumer {
                     Endpoint::SwitchPort { switch, port } => switches[switch].receive(port, fwd),
                     Endpoint::Initiator(idx) => initiators[idx].receive(fwd, now),
                     Endpoint::Target(idx) => targets[idx].receive(fwd, now),
                 };
-                if let Some(m) = monitor.as_mut() {
-                    if rx_accepted(switches, initiators, targets) > accepted_before {
-                        if let Some(lf) = fwd {
+                if watch_accepts && rx_accepted(switches, initiators, targets) > accepted_before {
+                    if let Some(lf) = fwd {
+                        if let Some(m) = monitor.as_mut() {
                             m.note_accept(i, &lf.flit, cycle);
+                        }
+                        if let Some(a) = attr.as_deref_mut() {
+                            if lf.flit.kind.is_tail() {
+                                a.note_accept(i, lf.flit.meta.packet_id, cycle);
+                            }
                         }
                     }
                 }
@@ -1221,6 +1355,7 @@ impl Noc {
             ni.tick(self.now);
         }
         self.monitor = monitor;
+        self.attribution = attr;
         // Telemetry epoch boundary: scan component counters into the
         // registry (and close a timeline window) once per interval. This
         // is the whole per-cycle cost of the metric layer.

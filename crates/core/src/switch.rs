@@ -153,6 +153,10 @@ pub struct Switch {
     /// Crossbar scratch (length = inputs): request lines of one output.
     requests: Vec<bool>,
     stats: SwitchStats,
+    /// When set, `(output port, packet id)` of every tail flit the
+    /// crossbar grants is collected for the attribution engine.
+    record_grants: bool,
+    granted_tails: Vec<(usize, u64)>,
 }
 
 impl Switch {
@@ -206,7 +210,36 @@ impl Switch {
             outputs,
             arbiters,
             stats: SwitchStats::default(),
+            record_grants: false,
+            granted_tails: Vec::new(),
         }
+    }
+
+    /// Enables (or disables) collection of crossbar tail grants for the
+    /// attribution engine.
+    pub fn set_record_grants(&mut self, on: bool) {
+        self.record_grants = on;
+        if !on {
+            self.granted_tails.clear();
+        }
+    }
+
+    /// Tail flits granted by the crossbar since the last
+    /// [`clear_granted_tails`](Self::clear_granted_tails), as
+    /// `(output port, packet id)`.
+    pub fn granted_tails(&self) -> &[(usize, u64)] {
+        &self.granted_tails
+    }
+
+    /// Clears the collected tail grants.
+    pub fn clear_granted_tails(&mut self) {
+        self.granted_tails.clear();
+    }
+
+    /// Input pipeline stages beyond the 2-stage minimum (0 for the Lite
+    /// switch, 5 for the legacy one).
+    pub fn extra_stages(&self) -> usize {
+        self.inputs.first().map_or(0, |i| i.delay.len())
     }
 
     /// The switch configuration.
@@ -406,6 +439,9 @@ impl Switch {
             if flit.kind.is_tail() {
                 self.locks[o] = None;
                 input.route_port = None;
+            }
+            if self.record_grants && flit.kind.is_tail() {
+                self.granted_tails.push((o, flit.meta.packet_id));
             }
             self.outputs[o].queue.push_back(flit);
             self.stats.max_queue_depth =

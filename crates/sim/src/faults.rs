@@ -189,6 +189,10 @@ pub struct RunSummary {
     /// component counters, so reports stay byte-deterministic at any
     /// worker count.
     pub telemetry: Option<crate::telemetry::TelemetrySummary>,
+    /// Per-packet latency attribution digest (phase totals, worst flow),
+    /// when the run collected one. Like `telemetry`, a pure function of
+    /// end-of-run state — byte-deterministic at any worker count.
+    pub attribution: Option<crate::attribution::AttributionSummary>,
 }
 
 impl RunSummary {
@@ -207,6 +211,9 @@ impl RunSummary {
             .field("drained", Json::Bool(self.drained));
         if let Some(telemetry) = &self.telemetry {
             b = b.field("telemetry", telemetry.to_json());
+        }
+        if let Some(attribution) = &self.attribution {
+            b = b.field("attribution", attribution.to_json());
         }
         b.build()
     }
@@ -355,6 +362,13 @@ mod tests {
                 peak_queue_depth: 3,
                 peak_queue_switch: "sw0".into(),
             }),
+            attribution: Some(crate::attribution::AttributionSummary {
+                packets: 10,
+                incomplete: 0,
+                in_flight: 0,
+                phase_totals: [5, 10, 0, 0, 290, 8],
+                worst_flow: Some(("ini0".into(), "tgt3".into(), 44)),
+            }),
         };
         let report = CampaignReport {
             name: "demo".into(),
@@ -380,6 +394,8 @@ mod tests {
         assert!(a.contains("\"avg_latency\": 31.250"));
         assert!(a.contains("\"peak_queue_depth\": 3"));
         assert!(a.contains("\"flight_dump\""));
+        assert!(a.contains("\"retx_penalty\": 8"));
+        assert!(a.contains("\"worst_flow\""));
         assert_eq!(report.failures().count(), 0);
     }
 }

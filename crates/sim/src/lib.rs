@@ -16,6 +16,9 @@
 //! * low-overhead observability ([`telemetry`]): per-component metric
 //!   registry, congestion timelines, flight-recorder event traces with
 //!   Chrome/Perfetto export,
+//! * per-packet latency attribution ([`attribution`]): causal span
+//!   ledgers with an exact conservation invariant, per-flow latency
+//!   histograms, and a run-diff regression explainer,
 //! * fault-model specifications and campaign reports ([`faults`]) with a
 //!   byte-stable JSON renderer ([`json`]).
 //!
@@ -45,6 +48,7 @@
 //! assert_eq!(c.value.get(), 5);
 //! ```
 
+pub mod attribution;
 pub mod faults;
 pub mod json;
 pub mod kernel;
@@ -55,6 +59,9 @@ pub mod telemetry;
 pub mod time;
 pub mod trace;
 
+pub use attribution::{
+    AttributionDiff, AttributionEngine, AttributionSummary, ChannelConsumer, ChannelInfo, Phase,
+};
 pub use faults::{CampaignReport, FaultKind, FaultPlan, FaultRun, RunSummary};
 pub use json::Json;
 pub use kernel::{Clocked, Register, Simulation};

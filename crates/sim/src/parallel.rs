@@ -151,4 +151,61 @@ mod tests {
             i
         });
     }
+
+    #[test]
+    #[should_panic(expected = "job 0 exploded")]
+    fn panic_on_the_serial_path_propagates_directly() {
+        // workers == 1 runs on the calling thread, so the job's own panic
+        // message (not the scope's) reaches the caller.
+        let items = [0usize];
+        parallel_map_ordered(&items, 1, |i, _| -> usize { panic!("job {i} exploded") });
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_serial() {
+        // workers == 0 must not deadlock or spawn: it degenerates to the
+        // serial path on the calling thread.
+        let caller = std::thread::current().id();
+        let items = [10, 20, 30];
+        let out = parallel_map_ordered(&items, 0, |i, &x| {
+            assert_eq!(std::thread::current().id(), caller);
+            x + i
+        });
+        assert_eq!(out, vec![10, 21, 32]);
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_safe_and_ordered() {
+        // The pool caps at the job count; excess workers must not panic,
+        // duplicate work, or perturb ordering.
+        let items = [5u64, 7, 11];
+        let out = parallel_map_ordered(&items, 64, |i, &x| (i as u64) * 100 + x);
+        assert_eq!(out, vec![5, 107, 211]);
+    }
+
+    #[test]
+    fn determinism_holds_with_staggered_completion() {
+        // Jobs that finish out of submission order (earlier jobs sleep
+        // longest) still land in submission order, for every worker count
+        // including the degenerate ones.
+        let items: Vec<u64> = (0..24).collect();
+        let staggered = |i: usize, x: &u64| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x.wrapping_mul(0x9E37_79B9).rotate_left(i as u32)
+        };
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| staggered(i, x))
+            .collect();
+        for workers in [0, 1, 2, 5, 24, 100] {
+            assert_eq!(
+                parallel_map_ordered(&items, workers, staggered),
+                serial,
+                "workers={workers}"
+            );
+        }
+    }
 }

@@ -547,6 +547,17 @@ impl TelemetrySummary {
 /// ring). Timestamps are simulation cycles interpreted as
 /// microseconds.
 pub fn perfetto_trace(events: &[TraceEvent], channel_labels: &[String]) -> Json {
+    perfetto_trace_with(events, channel_labels, Vec::new())
+}
+
+/// Like [`perfetto_trace`], with `extra` trace events (e.g. attribution
+/// spans from `xpipes_sim::attribution`) appended after the flit events
+/// so both layers land in one document.
+pub fn perfetto_trace_with(
+    events: &[TraceEvent],
+    channel_labels: &[String],
+    extra: Vec<Json>,
+) -> Json {
     // Packets in first-appearance order, with their span bounds.
     let mut order: Vec<u64> = Vec::new();
     let mut spans: Vec<(u64, u64, u64)> = Vec::new(); // (packet, begin, end)
@@ -597,6 +608,7 @@ pub fn perfetto_trace(events: &[TraceEvent], channel_labels: &[String]) -> Json 
         let (_, _, end) = spans.iter().find(|(p, _, _)| *p == pkt).unwrap();
         trace_events.push(async_event("e", pkt, *end));
     }
+    trace_events.extend(extra);
     Json::object()
         .field("displayTimeUnit", Json::str("ms"))
         .field("traceEvents", Json::Array(trace_events))

@@ -140,7 +140,7 @@ mod tests {
     use crate::mapping::{build_spec, map_to_mesh};
 
     fn setup() -> (NocSpec, TaskGraph) {
-        let g = apps::vopd();
+        let g = apps::vopd().expect("app builds");
         let m = map_to_mesh(&g, 3, 4, 1, 3).unwrap();
         let spec = build_spec(&g, &m, 32).unwrap();
         (spec, g)
@@ -176,7 +176,7 @@ mod tests {
 
     #[test]
     fn better_mapping_lowers_max_load() {
-        let g = apps::vopd();
+        let g = apps::vopd().expect("app builds");
         let good = {
             let m = map_to_mesh(&g, 3, 4, 1, 3).unwrap();
             let spec = build_spec(&g, &m, 32).unwrap();

@@ -109,6 +109,8 @@ pub enum EvalError {
     Synth(SynthError),
     /// Simulation or specification failure.
     Xpipes(XpipesError),
+    /// A bundled benchmark application graph failed to build.
+    App(crate::apps::AppBuildError),
 }
 
 impl fmt::Display for EvalError {
@@ -116,6 +118,7 @@ impl fmt::Display for EvalError {
         match self {
             EvalError::Synth(e) => write!(f, "synthesis: {e}"),
             EvalError::Xpipes(e) => write!(f, "network: {e}"),
+            EvalError::App(e) => write!(f, "application: {e}"),
         }
     }
 }
@@ -131,6 +134,12 @@ impl From<SynthError> for EvalError {
 impl From<XpipesError> for EvalError {
     fn from(e: XpipesError) -> Self {
         EvalError::Xpipes(e)
+    }
+}
+
+impl From<crate::apps::AppBuildError> for EvalError {
+    fn from(e: crate::apps::AppBuildError) -> Self {
+        EvalError::App(e)
     }
 }
 
@@ -171,13 +180,14 @@ pub fn evaluate(
     for s in spec.topology.switches() {
         let radix = spec.topology.switch_degree(s).max(2);
         let depth = spec.queue_depth_of(s);
-        if let std::collections::hash_map::Entry::Vacant(e) = switch_cache.entry((radix, depth)) {
-            let mut cfg = SwitchConfig::new(radix, radix, spec.flit_width);
-            cfg.output_queue_depth = depth as usize;
-            let report = synth_or_best(&switch_netlist(&cfg), config.target_mhz)?;
-            e.insert(report);
-        }
-        let r = &switch_cache[&(radix, depth)];
+        let r = match switch_cache.entry((radix, depth)) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let mut cfg = SwitchConfig::new(radix, radix, spec.flit_width);
+                cfg.output_queue_depth = depth as usize;
+                e.insert(synth_or_best(&switch_netlist(&cfg), config.target_mhz)?)
+            }
+        };
         area += r.area_mm2;
         power += r.power_mw;
         dynamic_power += r.dynamic_mw;
@@ -269,7 +279,7 @@ mod tests {
 
     #[test]
     fn evaluates_vopd_on_mesh() {
-        let g = apps::vopd();
+        let g = apps::vopd().expect("app builds");
         let m = map_to_mesh(&g, 3, 4, 1, 3).unwrap();
         let spec = build_spec(&g, &m, 32).unwrap();
         let r = evaluate("vopd-3x4", &spec, &g, &quick_config()).unwrap();
@@ -285,7 +295,7 @@ mod tests {
 
     #[test]
     fn active_power_tracks_load() {
-        let g = apps::vopd();
+        let g = apps::vopd().expect("app builds");
         let m = map_to_mesh(&g, 3, 4, 1, 3).unwrap();
         let spec = build_spec(&g, &m, 32).unwrap();
         let mut light = quick_config();
@@ -303,7 +313,7 @@ mod tests {
 
     #[test]
     fn larger_flit_width_costs_area() {
-        let g = apps::mwd();
+        let g = apps::mwd().expect("app builds");
         let m = map_to_mesh(&g, 3, 4, 1, 3).unwrap();
         let s32 = build_spec(&g, &m, 32).unwrap();
         let s64 = build_spec(&g, &m, 64).unwrap();
@@ -315,7 +325,7 @@ mod tests {
 
     #[test]
     fn invalid_spec_is_error() {
-        let g = apps::mwd();
+        let g = apps::mwd().expect("app builds");
         let m = map_to_mesh(&g, 3, 4, 1, 3).unwrap();
         let mut spec = build_spec(&g, &m, 32).unwrap();
         spec.flit_width = 1; // invalid

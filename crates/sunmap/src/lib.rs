@@ -29,7 +29,7 @@
 //! use xpipes_sunmap::{apps, selection};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let app = apps::mpeg4_decoder();
+//! let app = apps::mpeg4_decoder()?;
 //! let outcome = selection::select(&app, &selection::SelectionConfig::default())?;
 //! println!("winner: {}", outcome.winner().name);
 //! # Ok(())

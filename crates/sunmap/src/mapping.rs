@@ -246,7 +246,7 @@ mod tests {
 
     #[test]
     fn mapping_respects_capacity() {
-        let g = apps::d26_media_soc();
+        let g = apps::d26_media_soc().expect("app builds");
         let m = map_to_mesh(&g, 3, 4, 2, 1).unwrap();
         assert!(m.occupancy().iter().all(|&o| o <= 2));
         assert_eq!(m.slot_of.len(), 19);
@@ -254,14 +254,14 @@ mod tests {
 
     #[test]
     fn insufficient_capacity_rejected() {
-        let g = apps::d26_media_soc(); // 19 cores
+        let g = apps::d26_media_soc().expect("app builds"); // 19 cores
         assert!(map_to_mesh(&g, 3, 3, 2, 1).is_err()); // 18 slots*cap
         assert!(map_to_mesh(&g, 0, 4, 2, 1).is_err());
     }
 
     #[test]
     fn annealed_cost_beats_random() {
-        let g = apps::vopd();
+        let g = apps::vopd().expect("app builds");
         let good = map_to_mesh(&g, 3, 4, 1, 7).unwrap();
         // A deliberately poor mapping: identity order, round-robin slots
         // reversed (pipeline neighbours scattered).
@@ -284,7 +284,7 @@ mod tests {
 
     #[test]
     fn heavy_pairs_end_up_adjacent() {
-        let g = apps::vopd();
+        let g = apps::vopd().expect("app builds");
         let m = map_to_mesh(&g, 3, 4, 1, 3).unwrap();
         // The heaviest flows (≥300 MB/s) should average under 2 hops.
         let heavy: Vec<_> = g
@@ -322,7 +322,7 @@ mod tests {
 
     #[test]
     fn build_spec_attaches_roles() {
-        let g = apps::d26_media_soc();
+        let g = apps::d26_media_soc().expect("app builds");
         let m = map_to_mesh(&g, 3, 4, 2, 1).unwrap();
         let spec = build_spec(&g, &m, 32).unwrap();
         assert_eq!(spec.topology.nis_of_kind(NiKind::Initiator).count(), 8);
@@ -334,7 +334,7 @@ mod tests {
 
     #[test]
     fn build_spec_for_both_cores_gets_two_nis() {
-        let g = apps::vopd(); // all Both except none
+        let g = apps::vopd().expect("app builds"); // all Both except none
         let m = map_to_mesh(&g, 4, 4, 1, 1).unwrap();
         let spec = build_spec(&g, &m, 32).unwrap();
         // 12 cores, all Both → 12 initiators + 12 targets.
@@ -344,7 +344,7 @@ mod tests {
 
     #[test]
     fn torus_spec_has_more_links_than_mesh() {
-        let g = apps::mwd();
+        let g = apps::mwd().expect("app builds");
         let m = map_to_mesh(&g, 3, 4, 1, 5).unwrap();
         let mesh_spec = build_spec_grid(&g, &m, 32, GridKind::Mesh).unwrap();
         let torus_spec = build_spec_grid(&g, &m, 32, GridKind::Torus).unwrap();
@@ -359,7 +359,7 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let g = apps::mwd();
+        let g = apps::mwd().expect("app builds");
         let a = map_to_mesh(&g, 3, 4, 1, 5).unwrap();
         let b = map_to_mesh(&g, 3, 4, 1, 5).unwrap();
         assert_eq!(a, b);

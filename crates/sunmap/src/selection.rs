@@ -137,6 +137,9 @@ pub fn select(graph: &TaskGraph, config: &SelectionConfig) -> Result<SelectionOu
             EvalError::Synth(s) => {
                 XpipesError::ReassemblyError(Box::leak(s.to_string().into_boxed_str()))
             }
+            EvalError::App(a) => {
+                XpipesError::ReassemblyError(Box::leak(a.to_string().into_boxed_str()))
+            }
         })
     });
     match custom {
@@ -408,7 +411,7 @@ mod tests {
 
     #[test]
     fn custom_topology_is_valid_and_smaller_diameter() {
-        let g = apps::vopd();
+        let g = apps::vopd().expect("app builds");
         let spec = custom_topology(&g, 32, 3).unwrap();
         assert!(spec.validate().is_ok());
         // 12 cores at ≤3/cluster: at least 4 switches.
@@ -422,7 +425,7 @@ mod tests {
 
     #[test]
     fn custom_topology_clusters_heavy_pairs() {
-        let g = apps::vopd();
+        let g = apps::vopd().expect("app builds");
         let spec = custom_topology(&g, 32, 3).unwrap();
         // run_le_dec -> inv_scan is the heaviest flow (362): they should
         // share a switch or be adjacent.
@@ -438,7 +441,7 @@ mod tests {
 
     #[test]
     fn selection_runs_end_to_end() {
-        let g = apps::mwd();
+        let g = apps::mwd().expect("app builds");
         let mut cfg = SelectionConfig::default();
         cfg.eval.warmup = 200;
         cfg.eval.window = 1200;
@@ -457,7 +460,7 @@ mod tests {
 
     #[test]
     fn torus_candidates_appear_for_wrappable_grids() {
-        let g = apps::vopd();
+        let g = apps::vopd().expect("app builds");
         let mut cfg = SelectionConfig::default();
         cfg.eval.warmup = 100;
         cfg.eval.window = 600;
@@ -472,7 +475,7 @@ mod tests {
 
     #[test]
     fn buffer_optimization_is_applicable() {
-        let g = apps::vopd();
+        let g = apps::vopd().expect("app builds");
         let m = crate::mapping::map_to_mesh(&g, 3, 4, 1, 7).unwrap();
         let spec = crate::mapping::build_spec(&g, &m, 32).unwrap();
         let eval = crate::eval::EvalConfig {
@@ -490,7 +493,7 @@ mod tests {
 
     #[test]
     fn latency_weight_steers_selection() {
-        let g = apps::vopd();
+        let g = apps::vopd().expect("app builds");
         let mut fast = SelectionConfig::default();
         fast.eval.warmup = 200;
         fast.eval.window = 1200;

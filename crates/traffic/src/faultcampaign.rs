@@ -108,6 +108,7 @@ fn run_one(
         flight_recorder_depth: cfg.flight_recorder_depth,
         ..TelemetryConfig::default()
     });
+    noc.enable_attribution();
     let inj_cfg = InjectorConfig::new(cfg.injection_rate, Pattern::Uniform);
     let mut inj = Injector::new(spec, inj_cfg, seed ^ 0x5EED)?;
     for cycle in 0..cfg.cycles {
@@ -156,6 +157,7 @@ fn run_one(
         avg_latency,
         drained,
         telemetry: Some(noc.telemetry_summary()),
+        attribution: noc.attribution_summary(),
     };
     // Dump the recorder only for failing runs: the report stays compact
     // and byte-deterministic, and the dump is the frozen pre-violation

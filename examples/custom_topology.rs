@@ -11,7 +11,7 @@ use xpipes_sunmap::pareto::pareto_front;
 use xpipes_sunmap::selection::{optimize_buffers, select, SelectionConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let app = apps::vopd();
+    let app = apps::vopd()?;
     println!(
         "selecting a topology for '{}' ({} cores)...",
         app.name(),

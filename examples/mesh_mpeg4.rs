@@ -10,7 +10,7 @@ use xpipes_sunmap::{apps, build_spec, map_to_mesh};
 use xpipes_traffic::appdriven::AppTraffic;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let app = apps::mpeg4_decoder();
+    let app = apps::mpeg4_decoder()?;
     println!(
         "application '{}': {} cores, {} flows, {:.0} MB/s total",
         app.name(),

@@ -14,7 +14,7 @@ use xpipes_traffic::appdriven::AppTraffic;
 
 #[test]
 fn predicted_link_loads_match_measured_traversals() {
-    let graph = apps::vopd();
+    let graph = apps::vopd().expect("app builds");
     let mapping = map_to_mesh(&graph, 3, 4, 1, 7).expect("fits");
     let spec = build_spec(&graph, &mapping, 32).expect("valid spec");
 
@@ -79,7 +79,7 @@ fn predicted_link_loads_match_measured_traversals() {
 
 #[test]
 fn traversal_counts_are_zero_on_an_idle_network() {
-    let graph = apps::mwd();
+    let graph = apps::mwd().expect("app builds");
     let mapping = map_to_mesh(&graph, 3, 4, 1, 5).expect("fits");
     let spec = build_spec(&graph, &mapping, 32).expect("valid spec");
     let mut noc = Noc::new(&spec).expect("instantiates");
