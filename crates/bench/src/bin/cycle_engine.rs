@@ -24,6 +24,14 @@
 //! attribution document against a recorded one and prints the ranked
 //! `(channel, phase)` movers — the run-diff regression explainer.
 //!
+//! Checkpoint flags: `--checkpoint PATH --checkpoint-at C` runs the
+//! selected `--workload` to cycle C and writes the simulation state to
+//! PATH instead of benchmarking; `--restore PATH` resumes a saved
+//! checkpoint and continues to `--cycles` total; `--fingerprint-out
+//! PATH` writes the deterministic work fingerprint (cycles, flits
+//! routed, packets delivered — no wall-clock) so a resumed run can be
+//! byte-diffed against an uninterrupted one.
+//!
 //! ```text
 //! cycle_engine --cycles 200000
 //! cycle_engine --cycles 50000 --check BENCH_cycle_engine.json --tolerance 0.2
@@ -31,15 +39,18 @@
 //!              --flight-recorder --perfetto trace.json
 //! cycle_engine --cycles 50000 --max-telemetry-overhead 0.05
 //! cycle_engine --cycles 50000 --attribution --diff BENCH_attribution.json
+//! cycle_engine --workload uniform_random_4x4 --checkpoint ck.bin --checkpoint-at 20000
+//! cycle_engine --cycles 50000 --restore ck.bin --fingerprint-out fp.json
 //! ```
 
 use std::process::ExitCode;
 
 use xpipes::noc::TelemetryConfig;
 use xpipes_bench::cycle_engine::{
-    attribution_bench_json, diff_attribution_bench, measure_attribution_overhead,
-    measure_telemetry_overhead, parse_cycles_per_sec, report_json, run_workload,
-    run_workload_attributed, run_workload_instrumented, Workload, WorkloadResult, DEFAULT_CYCLES,
+    attribution_bench_json, checkpoint_workload, diff_attribution_bench, fingerprint_json,
+    measure_attribution_overhead, measure_telemetry_overhead, parse_cycles_per_sec, report_json,
+    resume_workload, run_workload, run_workload_attributed, run_workload_instrumented, Workload,
+    WorkloadResult, DEFAULT_CYCLES,
 };
 use xpipes_sim::Json;
 
@@ -56,6 +67,11 @@ struct Args {
     attribution: bool,
     attribution_out: String,
     diff: Option<String>,
+    workload: Option<Workload>,
+    checkpoint: Option<String>,
+    checkpoint_at: Option<u64>,
+    restore: Option<String>,
+    fingerprint_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -72,6 +88,11 @@ fn parse_args() -> Result<Args, String> {
         attribution: false,
         attribution_out: "BENCH_attribution.json".to_string(),
         diff: None,
+        workload: None,
+        checkpoint: None,
+        checkpoint_at: None,
+        restore: None,
+        fingerprint_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -103,13 +124,32 @@ fn parse_args() -> Result<Args, String> {
             "--attribution" => args.attribution = true,
             "--attribution-out" => args.attribution_out = value("--attribution-out")?,
             "--diff" => args.diff = Some(value("--diff")?),
+            "--workload" => {
+                let name = value("--workload")?;
+                args.workload = Some(
+                    Workload::from_name(&name)
+                        .ok_or_else(|| format!("unknown workload '{name}'"))?,
+                );
+            }
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?),
+            "--checkpoint-at" => {
+                args.checkpoint_at = Some(
+                    value("--checkpoint-at")?
+                        .parse()
+                        .map_err(|e| format!("bad --checkpoint-at: {e}"))?,
+                );
+            }
+            "--restore" => args.restore = Some(value("--restore")?),
+            "--fingerprint-out" => args.fingerprint_out = Some(value("--fingerprint-out")?),
             "--help" | "-h" => {
                 println!(
                     "usage: cycle_engine [--cycles N] [--out PATH] \
                      [--check BASELINE.json] [--tolerance F] [--telemetry] \
                      [--timeline PATH] [--flight-recorder] [--perfetto PATH] \
                      [--max-telemetry-overhead F] [--attribution] \
-                     [--attribution-out PATH] [--diff BASELINE.json]"
+                     [--attribution-out PATH] [--diff BASELINE.json] \
+                     [--workload NAME] [--checkpoint PATH --checkpoint-at N] \
+                     [--restore PATH] [--fingerprint-out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -152,12 +192,75 @@ fn main() -> ExitCode {
         eprintln!("error: --diff requires --attribution");
         return ExitCode::from(2);
     }
+    if args.checkpoint.is_some() != args.checkpoint_at.is_some() {
+        eprintln!("error: --checkpoint and --checkpoint-at go together");
+        return ExitCode::from(2);
+    }
+    if args.checkpoint.is_some() && args.restore.is_some() {
+        eprintln!("error: --checkpoint and --restore are mutually exclusive");
+        return ExitCode::from(2);
+    }
+
+    // Checkpoint mode: save the simulation state and exit; no timing.
+    if let (Some(path), Some(at)) = (&args.checkpoint, args.checkpoint_at) {
+        let workload = args.workload.unwrap_or(Workload::UniformRandom);
+        let bytes = match checkpoint_workload(workload, at) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: checkpoint failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(path, &bytes) {
+            eprintln!("error: cannot write checkpoint {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "checkpoint of {} at cycle {at} written to {path} ({} bytes)",
+            workload.name(),
+            bytes.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Restore mode: resume the saved state to --cycles, then fall
+    // through to the normal report/fingerprint/check plumbing with the
+    // single resumed result.
+    let restored: Option<WorkloadResult> = if let Some(path) = &args.restore {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: cannot read checkpoint {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match resume_workload(&bytes, args.cycles) {
+            Ok(r) => {
+                println!(
+                    "{:<20} {:>12.0} cycles/s  {:>12.0} flits/s  ({} cycles in {:.3}s, resumed)",
+                    r.name, r.cycles_per_sec, r.flits_per_sec, r.cycles, r.elapsed_s
+                );
+                Some(r)
+            }
+            Err(e) => {
+                eprintln!("error: restore failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
+
     let instrument = args.telemetry
         || args.timeline.is_some()
         || args.flight_recorder
         || args.perfetto.is_some();
-    let workloads = [Workload::UniformRandom, Workload::Hotspot];
-    let mut results: Vec<WorkloadResult> = Vec::new();
+    let workloads: Vec<Workload> = match (&restored, args.workload) {
+        (Some(_), _) => Vec::new(),
+        (None, Some(w)) => vec![w],
+        (None, None) => vec![Workload::UniformRandom, Workload::Hotspot],
+    };
+    let mut results: Vec<WorkloadResult> = restored.into_iter().collect();
     let mut attribution_reports: Vec<(&'static str, Json)> = Vec::new();
     for w in workloads {
         let run = if args.attribution {
@@ -204,6 +307,14 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     println!("report written to {}", args.out);
+    if let Some(path) = &args.fingerprint_out {
+        let fp = fingerprint_json(&results).render();
+        if let Err(e) = std::fs::write(path, &fp) {
+            eprintln!("error: cannot write fingerprint {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("work fingerprint written to {path}");
+    }
     if args.attribution {
         let doc = attribution_bench_json(args.cycles, std::mem::take(&mut attribution_reports));
         if let Err(code) =

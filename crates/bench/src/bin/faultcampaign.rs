@@ -9,16 +9,37 @@
 //! parallelism); reports are byte-identical to a serial run for the
 //! same seed.
 //!
+//! `--resume DIR` makes the campaign crash-resumable: completed grid
+//! points are journaled to `DIR/point-<index>.bin` (after every
+//! `--checkpoint-every N` points), the shared warm-start checkpoint to
+//! `DIR/warm.bin`, and the configuration fingerprint to
+//! `DIR/meta.json`. Re-running the same command after a kill skips the
+//! journaled points and produces a report byte-identical to an
+//! uninterrupted run, regardless of `--jobs`.
+//!
+//! `--warm-start CYCLES` runs the fault-free warm-up once, checkpoints
+//! it, and branches every grid point off the shared state (see
+//! `xpipes_traffic::faultcampaign::WarmStart` for how this measurement
+//! protocol differs from a cold campaign).
+//!
 //! ```text
 //! faultcampaign --faults all --cycles 20000 --seed 7
 //! faultcampaign --faults ack-loss,output-stall --rates 0.01,0.05 --out report.json
 //! faultcampaign --jobs 1   # force serial execution
+//! faultcampaign --resume journal/ --checkpoint-every 2 --out report.json
+//! faultcampaign --warm-start 4000 --resume journal/
 //! ```
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use xpipes_sim::FaultKind;
-use xpipes_traffic::faultcampaign::{campaign_spec, run_campaign_parallel, CampaignConfig};
+use xpipes_sim::parallel::{parallel_map_ordered, worker_count};
+use xpipes_sim::{FaultKind, Json};
+use xpipes_traffic::faultcampaign::{
+    assemble_report, campaign_spec, config_fingerprint, grid_size, run_campaign_parallel,
+    run_campaign_warm_parallel, run_grid_point, warm_checkpoint, CampaignConfig, CompletedPoint,
+    WarmStart,
+};
 
 struct Args {
     faults: Vec<FaultKind>,
@@ -28,6 +49,9 @@ struct Args {
     out: Option<String>,
     jobs: usize,
     flight_depth: Option<usize>,
+    resume: Option<PathBuf>,
+    checkpoint_every: u64,
+    warm_start: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +63,9 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         jobs: 0,
         flight_depth: None,
+        resume: None,
+        checkpoint_every: 0,
+        warm_start: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -93,11 +120,29 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad --flight-depth: {e}"))?,
                 );
             }
+            "--resume" => args.resume = Some(PathBuf::from(value("--resume")?)),
+            "--checkpoint-every" => {
+                args.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+                if args.checkpoint_every == 0 {
+                    return Err("--checkpoint-every must be at least 1".into());
+                }
+            }
+            "--warm-start" => {
+                args.warm_start = value("--warm-start")?
+                    .parse()
+                    .map_err(|e| format!("bad --warm-start: {e}"))?;
+                if args.warm_start == 0 {
+                    return Err("--warm-start must be at least 1 cycle".into());
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: faultcampaign [--faults all|NAME,..] [--cycles N] \
                      [--seed N] [--rates R,..] [--out PATH] [--jobs N] \
-                     [--flight-depth N]\n\
+                     [--flight-depth N] [--resume DIR] [--checkpoint-every N] \
+                     [--warm-start CYCLES]\n\
                      fault models: {}",
                     FaultKind::ALL.map(|k| k.name()).join(", ")
                 );
@@ -106,7 +151,176 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
+    if args.checkpoint_every > 0 && args.resume.is_none() {
+        return Err("--checkpoint-every requires --resume DIR".into());
+    }
     Ok(args)
+}
+
+/// Journal metadata: pins the campaign parameters a journal directory
+/// was created with so a resume cannot silently mix grid points from
+/// different configurations.
+fn meta_json(fingerprint: u64, grid: u64, warm_cycles: u64) -> String {
+    Json::object()
+        .field("campaign", Json::str("faultcampaign"))
+        .field("fingerprint", Json::str(format!("{fingerprint:016x}")))
+        .field("grid", Json::UInt(grid))
+        .field("warm_cycles", Json::UInt(warm_cycles))
+        .build()
+        .render()
+}
+
+fn check_meta(text: &str, fingerprint: u64, grid: u64, warm_cycles: u64) -> Result<(), String> {
+    let doc = Json::parse(text).map_err(|e| format!("malformed meta.json: {e}"))?;
+    let field_str = |key: &str| {
+        doc.get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("meta.json missing '{key}'"))
+    };
+    let field_u64 = |key: &str| {
+        doc.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("meta.json missing '{key}'"))
+    };
+    let want = format!("{fingerprint:016x}");
+    if field_str("fingerprint")? != want {
+        return Err(format!(
+            "journal was created with a different campaign configuration \
+             (fingerprint {} != {want}); use a fresh --resume directory",
+            field_str("fingerprint")?
+        ));
+    }
+    if field_u64("grid")? != grid {
+        return Err(format!(
+            "journal grid size {} != {grid}; use a fresh --resume directory",
+            field_u64("grid")?
+        ));
+    }
+    if field_u64("warm_cycles")? != warm_cycles {
+        return Err(format!(
+            "journal warm-up {} cycles != --warm-start {warm_cycles}; \
+             use a fresh --resume directory",
+            field_u64("warm_cycles")?
+        ));
+    }
+    Ok(())
+}
+
+fn point_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("point-{index}.bin"))
+}
+
+/// Loads or creates the shared warm-start checkpoint for a journal
+/// directory, so a resumed campaign branches off byte-identical state.
+fn journal_warm(
+    dir: &Path,
+    args: &Args,
+    cfg: &CampaignConfig,
+) -> Result<Option<WarmStart>, String> {
+    if args.warm_start == 0 {
+        return Ok(None);
+    }
+    let path = dir.join("warm.bin");
+    if path.exists() {
+        let bytes =
+            std::fs::read(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let warm = WarmStart::from_bytes(&bytes)
+            .map_err(|e| format!("damaged warm checkpoint {}: {e}", path.display()))?;
+        if warm.cycles != args.warm_start {
+            return Err(format!(
+                "journal warm checkpoint covers {} cycles, --warm-start asked for {}",
+                warm.cycles, args.warm_start
+            ));
+        }
+        return Ok(Some(warm));
+    }
+    let warm = warm_checkpoint(&campaign_spec(), cfg, args.warm_start)
+        .map_err(|e| format!("warm-up failed: {e}"))?;
+    std::fs::write(&path, warm.to_bytes())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(Some(warm))
+}
+
+/// Runs (or resumes) the campaign against a journal directory. Grid
+/// points already journaled are loaded back; the rest execute in
+/// chunks of `--checkpoint-every`, each chunk fanned across `--jobs`
+/// and journaled on completion, so a kill loses at most one chunk.
+fn run_resumable(args: &Args, cfg: &CampaignConfig) -> Result<xpipes_sim::CampaignReport, String> {
+    let dir = args.resume.as_deref().expect("resume dir");
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("cannot create journal directory {}: {e}", dir.display()))?;
+    let spec = campaign_spec();
+    let fingerprint = config_fingerprint(&spec, &args.faults, cfg);
+    let grid = grid_size(&args.faults, cfg);
+    let meta_path = dir.join("meta.json");
+    match std::fs::read_to_string(&meta_path) {
+        Ok(text) => check_meta(&text, fingerprint, grid, args.warm_start)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            std::fs::write(&meta_path, meta_json(fingerprint, grid, args.warm_start))
+                .map_err(|e| format!("cannot write {}: {e}", meta_path.display()))?;
+        }
+        Err(e) => return Err(format!("cannot read {}: {e}", meta_path.display())),
+    }
+    let warm = journal_warm(dir, args, cfg)?;
+
+    let mut points: Vec<CompletedPoint> = Vec::new();
+    let mut remaining: Vec<u64> = Vec::new();
+    for index in 0..grid {
+        let path = point_path(dir, index);
+        match std::fs::read(&path) {
+            Ok(bytes) => match CompletedPoint::from_bytes(&bytes) {
+                Ok(point) if point.index == index => points.push(point),
+                Ok(point) => {
+                    return Err(format!(
+                        "{} holds grid point {}, expected {index}",
+                        path.display(),
+                        point.index
+                    ));
+                }
+                Err(e) => {
+                    // Most likely a kill mid-write: redo the point.
+                    eprintln!(
+                        "note: discarding damaged journal entry {} ({e})",
+                        path.display()
+                    );
+                    remaining.push(index);
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => remaining.push(index),
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        }
+    }
+    if !points.is_empty() {
+        eprintln!(
+            "journal: resuming with {}/{grid} grid points already complete",
+            points.len()
+        );
+    }
+
+    let workers = if args.jobs == 0 {
+        worker_count(remaining.len().max(1))
+    } else {
+        args.jobs
+    };
+    let chunk_len = if args.checkpoint_every == 0 {
+        workers.max(1)
+    } else {
+        args.checkpoint_every as usize
+    };
+    for chunk in remaining.chunks(chunk_len) {
+        let ran = parallel_map_ordered(chunk, workers, |_, &index| {
+            run_grid_point(&spec, &args.faults, cfg, index, warm.as_ref())
+        });
+        for done in ran {
+            let point = done.map_err(|e| format!("grid point failed: {e}"))?;
+            let path = point_path(dir, point.index);
+            std::fs::write(&path, point.to_bytes())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            points.push(point);
+        }
+        eprintln!("journal: {}/{grid} grid points complete", points.len());
+    }
+    Ok(assemble_report(&spec, &args.faults, cfg, points))
 }
 
 fn main() -> ExitCode {
@@ -118,17 +332,42 @@ fn main() -> ExitCode {
         }
     };
     let mut cfg = CampaignConfig::new(args.seed, args.cycles);
-    if let Some(rates) = args.rates {
-        cfg.error_rates = rates;
+    if let Some(rates) = &args.rates {
+        cfg.error_rates = rates.clone();
     }
     if let Some(depth) = args.flight_depth {
         cfg.flight_recorder_depth = depth;
     }
-    let report = match run_campaign_parallel(&campaign_spec(), &args.faults, &cfg, args.jobs) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: campaign failed to assemble: {e}");
-            return ExitCode::from(2);
+    let report = if args.resume.is_some() {
+        match run_resumable(&args, &cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else if args.warm_start > 0 {
+        let warm = match warm_checkpoint(&campaign_spec(), &cfg, args.warm_start) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("error: warm-up failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match run_campaign_warm_parallel(&campaign_spec(), &args.faults, &cfg, &warm, args.jobs) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: campaign failed to assemble: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match run_campaign_parallel(&campaign_spec(), &args.faults, &cfg, args.jobs) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: campaign failed to assemble: {e}");
+                return ExitCode::from(2);
+            }
         }
     };
     let json = report.to_json();

@@ -1,0 +1,159 @@
+//! Warm-start sweep benchmark.
+//!
+//! Quantifies what the checkpoint/restore subsystem buys: a load–latency
+//! sweep that warms up once and branches every operating point off the
+//! shared checkpoint ([`xpipes_traffic::sweep_from_checkpoint`]) versus
+//! the classic sweep that re-warms from cold at every point. The
+//! speedup is roughly `n·(warmup + window) / (warmup + n·window)` for an
+//! n-point curve; the `checkpoint_bench` binary records it in
+//! `BENCH_checkpoint.json` and `--check` gates CI on regressions.
+
+use std::time::Instant;
+
+use xpipes::XpipesError;
+use xpipes_sim::Json;
+use xpipes_traffic::pattern::Pattern;
+use xpipes_traffic::{sweep, sweep_from_checkpoint, sweep_warm_up, LoadPoint};
+
+use crate::cycle_engine::reference_spec;
+
+/// Default benchmark parameters: a 6-point curve where warm-up matches
+/// the measurement window, so the warm-start path skips roughly half
+/// the simulated cycles.
+pub const DEFAULT_RATES: [f64; 6] = [0.01, 0.02, 0.03, 0.04, 0.05, 0.06];
+/// Default warm-up cycles (per point when cold; once when warm).
+pub const DEFAULT_WARMUP: u64 = 4000;
+/// Default measurement window cycles per point.
+pub const DEFAULT_WINDOW: u64 = 4000;
+/// Default seed.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// One measured cold-vs-warm sweep comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointBench {
+    /// Offered loads swept.
+    pub rates: Vec<f64>,
+    /// Warm-up cycles.
+    pub warmup: u64,
+    /// Measurement window cycles.
+    pub window: u64,
+    /// Wall-clock seconds of the cold sweep (warm-up at every point).
+    pub cold_s: f64,
+    /// Wall-clock seconds of the warm-start sweep, **including** the
+    /// one-off warm-up and checkpoint capture.
+    pub warm_s: f64,
+    /// `cold_s / warm_s`.
+    pub speedup: f64,
+    /// The warm-start curve (recorded so the benchmark also documents
+    /// the protocol's output).
+    pub warm_points: Vec<LoadPoint>,
+}
+
+/// Runs the cold sweep and the warm-start sweep over the same rates on
+/// the reference 4x4 mesh and measures both wall-clocks.
+///
+/// # Errors
+///
+/// Propagates network construction errors.
+pub fn run_checkpoint_bench(
+    rates: &[f64],
+    warmup: u64,
+    window: u64,
+    seed: u64,
+) -> Result<CheckpointBench, XpipesError> {
+    let spec = reference_spec();
+    let warm_rate = rates.get(rates.len() / 2).copied().unwrap_or(0.03);
+
+    let start = Instant::now();
+    sweep(&spec, Pattern::Uniform, rates, warmup, window, seed)?;
+    let cold_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let warm = sweep_warm_up(&spec, Pattern::Uniform, warm_rate, warmup, seed)?;
+    let warm_points = sweep_from_checkpoint(&spec, &warm, rates, window, seed)?;
+    let warm_s = start.elapsed().as_secs_f64();
+
+    Ok(CheckpointBench {
+        rates: rates.to_vec(),
+        warmup,
+        window,
+        cold_s,
+        warm_s,
+        speedup: cold_s / warm_s,
+        warm_points,
+    })
+}
+
+/// Renders the benchmark report written to `BENCH_checkpoint.json`.
+pub fn checkpoint_bench_json(b: &CheckpointBench) -> Json {
+    let points = b
+        .warm_points
+        .iter()
+        .map(|p| {
+            Json::object()
+                .field("offered", Json::Fixed(p.offered, 4))
+                .field("accepted", Json::Fixed(p.accepted_packets_per_cycle, 5))
+                .field("avg_latency", Json::Fixed(p.avg_latency_cycles, 2))
+                .build()
+        })
+        .collect();
+    Json::object()
+        .field("bench", Json::str("checkpoint_warm_start"))
+        .field(
+            "rates",
+            Json::Array(b.rates.iter().map(|&r| Json::Fixed(r, 4)).collect()),
+        )
+        .field("warmup_cycles", Json::UInt(b.warmup))
+        .field("window_cycles", Json::UInt(b.window))
+        .field("cold_sweep_s", Json::Fixed(b.cold_s, 4))
+        .field("warm_sweep_s", Json::Fixed(b.warm_s, 4))
+        .field("speedup", Json::Fixed(b.speedup, 3))
+        .field("warm_points", Json::Array(points))
+        .build()
+}
+
+/// Extracts `"speedup"` from a rendered report (what the CI regression
+/// gate compares against; the format is owned by
+/// [`checkpoint_bench_json`], so positional scanning is safe).
+pub fn parse_speedup(report: &str) -> Option<f64> {
+    let key_pos = report.find("\"speedup\":")?;
+    let after = report[key_pos + "\"speedup\":".len()..].trim_start();
+    let end = after
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(after.len());
+    after[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_warm_start_wins() {
+        // Small but real: 3 points, warm-up as long as the window, so
+        // the warm path simulates ~(3·2)/(1+3) = 1.5x fewer cycles.
+        let b = run_checkpoint_bench(&[0.01, 0.03, 0.05], 2000, 2000, 7).unwrap();
+        assert_eq!(b.warm_points.len(), 3);
+        assert!(b.cold_s > 0.0 && b.warm_s > 0.0);
+        assert!(b.speedup > 1.0, "warm-start sweep should beat cold: {b:?}");
+        for p in &b.warm_points {
+            assert!(p.accepted_packets_per_cycle > 0.0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn report_round_trips_speedup() {
+        let b = CheckpointBench {
+            rates: vec![0.01],
+            warmup: 100,
+            window: 100,
+            cold_s: 2.0,
+            warm_s: 1.0,
+            speedup: 2.0,
+            warm_points: vec![],
+        };
+        let text = checkpoint_bench_json(&b).render();
+        assert_eq!(parse_speedup(&text), Some(2.0));
+        assert!(parse_speedup("{}").is_none());
+    }
+}

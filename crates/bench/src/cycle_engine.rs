@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use xpipes::noc::{Noc, TelemetryConfig};
 use xpipes::XpipesError;
-use xpipes_sim::Json;
+use xpipes_sim::{Json, Snapshot, SnapshotReader, SnapshotWriter};
 use xpipes_topology::builders::mesh;
 use xpipes_topology::spec::NocSpec;
 use xpipes_traffic::generator::{Injector, InjectorConfig};
@@ -76,6 +76,13 @@ impl Workload {
             Workload::UniformRandom => "uniform_random_4x4",
             Workload::Hotspot => "hotspot_4x4",
         }
+    }
+
+    /// Parses a [`name`](Self::name) back into a workload.
+    pub fn from_name(name: &str) -> Option<Workload> {
+        [Workload::UniformRandom, Workload::Hotspot]
+            .into_iter()
+            .find(|w| w.name() == name)
     }
 
     fn pattern(self) -> Pattern {
@@ -228,6 +235,112 @@ pub fn run_workload_attributed(
         result,
         attribution: noc.attribution_report().expect("attribution was enabled"),
     })
+}
+
+/// Runs a reference workload for `checkpoint_at` injection cycles and
+/// returns the simulation state as one self-contained checkpoint
+/// container (network, injector, and the cycle count), ready for
+/// [`resume_workload`] — possibly in a different process.
+///
+/// # Errors
+///
+/// Propagates network-assembly failures.
+pub fn checkpoint_workload(workload: Workload, checkpoint_at: u64) -> Result<Vec<u8>, XpipesError> {
+    let spec = reference_spec();
+    let mut noc = Noc::with_seed(&spec, BENCH_SEED)?;
+    let mut inj = Injector::new(
+        &spec,
+        InjectorConfig::new(BENCH_RATE, workload.pattern()),
+        BENCH_SEED ^ 0x5EED,
+    )?;
+    inj.run(&mut noc, checkpoint_at);
+    let mut w = SnapshotWriter::new();
+    w.str(workload.name());
+    w.u64(checkpoint_at);
+    w.bytes(&noc.checkpoint());
+    let mut iw = SnapshotWriter::new();
+    inj.save_state(&mut iw);
+    w.bytes(&iw.finish());
+    Ok(w.finish())
+}
+
+/// Restores a [`checkpoint_workload`] container and continues the run to
+/// `cycles` total injection cycles plus drain. The work fingerprint
+/// (`cycles`, `flits_routed`, `packets_delivered`) is byte-identical to
+/// an uninterrupted [`run_workload`] of the same length; wall-clock
+/// fields cover only the resumed portion.
+///
+/// # Errors
+///
+/// Propagates assembly failures and checkpoint-decode failures (damaged
+/// file, wrong workload, or a checkpoint taken past `cycles`).
+pub fn resume_workload(bytes: &[u8], cycles: u64) -> Result<WorkloadResult, XpipesError> {
+    let mut r = SnapshotReader::open(bytes).map_err(XpipesError::from)?;
+    let name = r.str().map_err(XpipesError::from)?;
+    let checkpoint_at = r.u64().map_err(XpipesError::from)?;
+    let noc_bytes = r.bytes().map_err(XpipesError::from)?;
+    let inj_bytes = r.bytes().map_err(XpipesError::from)?;
+    r.finish().map_err(XpipesError::from)?;
+    let workload = Workload::from_name(&name).ok_or_else(|| {
+        XpipesError::Snapshot(xpipes_sim::SnapshotError::Malformed(format!(
+            "checkpoint is for unknown workload {name:?}"
+        )))
+    })?;
+    if checkpoint_at > cycles {
+        return Err(XpipesError::Snapshot(xpipes_sim::SnapshotError::Malformed(
+            format!("checkpoint at cycle {checkpoint_at} is past the {cycles}-cycle run"),
+        )));
+    }
+    let spec = reference_spec();
+    let mut noc = Noc::with_seed(&spec, BENCH_SEED)?;
+    noc.restore(&noc_bytes)?;
+    let mut inj = Injector::new(
+        &spec,
+        InjectorConfig::new(BENCH_RATE, workload.pattern()),
+        BENCH_SEED ^ 0x5EED,
+    )?;
+    let mut ir = SnapshotReader::open(&inj_bytes).map_err(XpipesError::from)?;
+    inj.load_state(&mut ir).map_err(XpipesError::from)?;
+    ir.finish().map_err(XpipesError::from)?;
+    let start = Instant::now();
+    inj.run(&mut noc, cycles - checkpoint_at);
+    noc.run_until_idle(cycles / 2);
+    let elapsed = start.elapsed().as_secs_f64();
+    inj.drain_responses(&mut noc);
+    let stats = noc.stats();
+    Ok(WorkloadResult {
+        name: workload.name(),
+        cycles: stats.cycles,
+        elapsed_s: elapsed,
+        cycles_per_sec: stats.cycles as f64 / elapsed,
+        flits_per_sec: stats.flits_routed as f64 / elapsed,
+        flits_routed: stats.flits_routed,
+        packets_delivered: stats.packets_delivered,
+    })
+}
+
+/// Renders the deterministic work fingerprint of measured workloads:
+/// cycles simulated, flits routed, and packets delivered — everything a
+/// measurement carries except wall-clock. Two runs of the same seeded
+/// work render byte-identically, which is what the checkpoint smoke
+/// test diffs across a checkpoint/restore boundary.
+pub fn fingerprint_json(results: &[WorkloadResult]) -> Json {
+    let workloads = results
+        .iter()
+        .map(|r| {
+            Json::object()
+                .field("name", Json::str(r.name))
+                .field("cycles", Json::UInt(r.cycles))
+                .field("flits_routed", Json::UInt(r.flits_routed))
+                .field("packets_delivered", Json::UInt(r.packets_delivered))
+                .build()
+        })
+        .collect();
+    Json::object()
+        .field("bench", Json::str("cycle_engine_fingerprint"))
+        .field("seed", Json::UInt(BENCH_SEED))
+        .field("workloads", Json::Array(workloads))
+        .build()
 }
 
 /// Renders the attribution benchmark document: both reference workloads'
@@ -492,6 +605,30 @@ mod tests {
         assert!(
             diff_attribution_bench("not json", &doc).is_err(),
             "malformed baseline must be rejected"
+        );
+    }
+
+    #[test]
+    fn resumed_workload_matches_uninterrupted_fingerprint() {
+        let whole = run_workload(Workload::UniformRandom, 4000).unwrap();
+        let ckpt = checkpoint_workload(Workload::UniformRandom, 1500).unwrap();
+        let resumed = resume_workload(&ckpt, 4000).unwrap();
+        assert_eq!(resumed.cycles, whole.cycles);
+        assert_eq!(resumed.flits_routed, whole.flits_routed);
+        assert_eq!(resumed.packets_delivered, whole.packets_delivered);
+        assert_eq!(
+            fingerprint_json(&[resumed]).render(),
+            fingerprint_json(&[whole]).render()
+        );
+    }
+
+    #[test]
+    fn resume_rejects_bad_checkpoints() {
+        assert!(resume_workload(b"junk", 4000).is_err());
+        let ckpt = checkpoint_workload(Workload::Hotspot, 2000).unwrap();
+        assert!(
+            resume_workload(&ckpt, 1000).is_err(),
+            "checkpoint past the run length is rejected"
         );
     }
 

@@ -8,6 +8,7 @@
 //! engines. See EXPERIMENTS.md at the workspace root for the experiment
 //! index and paper-vs-measured record.
 
+pub mod checkpoint;
 pub mod cycle_engine;
 pub mod experiments;
 pub mod table;

@@ -5,6 +5,7 @@
 //! round-robin variant rotates priority past the last grant, giving
 //! starvation freedom; the fixed variant is smaller and faster but unfair.
 
+use xpipes_sim::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use xpipes_topology::spec::Arbitration;
 
 /// A single-output arbiter over `n` requesters.
@@ -84,6 +85,26 @@ impl Arbiter {
     /// Resets the round-robin pointer to its power-on state.
     pub fn reset(&mut self) {
         self.last = self.inputs - 1;
+    }
+}
+
+impl Snapshot for Arbiter {
+    /// Only the round-robin pointer is mutable; policy and width are
+    /// structural.
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.len(self.last);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let last = r.len()?;
+        if last >= self.inputs {
+            return Err(SnapshotError::Malformed(format!(
+                "arbiter pointer {last} outside {} inputs",
+                self.inputs
+            )));
+        }
+        self.last = last;
+        Ok(())
     }
 }
 

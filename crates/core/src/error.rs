@@ -35,6 +35,8 @@ pub enum XpipesError {
     Topology(TopologyError),
     /// Underlying specification error.
     Spec(SpecError),
+    /// A checkpoint could not be decoded or restored.
+    Snapshot(xpipes_sim::SnapshotError),
 }
 
 impl fmt::Display for XpipesError {
@@ -54,6 +56,7 @@ impl fmt::Display for XpipesError {
             XpipesError::Ocp(e) => write!(f, "ocp error: {e}"),
             XpipesError::Topology(e) => write!(f, "topology error: {e}"),
             XpipesError::Spec(e) => write!(f, "spec error: {e}"),
+            XpipesError::Snapshot(e) => write!(f, "snapshot error: {e}"),
         }
     }
 }
@@ -64,6 +67,7 @@ impl Error for XpipesError {
             XpipesError::Ocp(e) => Some(e),
             XpipesError::Topology(e) => Some(e),
             XpipesError::Spec(e) => Some(e),
+            XpipesError::Snapshot(e) => Some(e),
             _ => None,
         }
     }
@@ -84,6 +88,12 @@ impl From<TopologyError> for XpipesError {
 impl From<SpecError> for XpipesError {
     fn from(e: SpecError) -> Self {
         XpipesError::Spec(e)
+    }
+}
+
+impl From<xpipes_sim::SnapshotError> for XpipesError {
+    fn from(e: xpipes_sim::SnapshotError) -> Self {
+        XpipesError::Snapshot(e)
     }
 }
 

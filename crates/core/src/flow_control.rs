@@ -12,7 +12,10 @@
 
 use std::collections::VecDeque;
 
+use xpipes_sim::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
+
 use crate::flit::Flit;
+use crate::snap;
 
 /// Sequence numbers are modulo 64: far larger than any retransmission
 /// window (≤ 2·pipeline+2), so ambiguity is impossible.
@@ -384,6 +387,80 @@ impl LinkRx {
                 },
             )
         }
+    }
+}
+
+impl Snapshot for LinkTx {
+    /// Captures the retransmission window, sequence counter, rewind
+    /// pointer, timeout silence counter and statistics. `capacity`,
+    /// `timeout` and `sabotage` are structural (set at assembly time)
+    /// and are not stored.
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.len(self.window.len());
+        for (seq, flit) in &self.window {
+            w.u8(*seq);
+            snap::save_flit(w, flit);
+        }
+        w.u8(self.next_seq);
+        match self.resend {
+            Some(idx) => {
+                w.bool(true);
+                w.len(idx);
+            }
+            None => w.bool(false),
+        }
+        w.u64(self.retransmissions);
+        w.u64(self.sent);
+        w.u64(self.idle_reverse_cycles);
+        w.u64(self.timeouts);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.len()?;
+        if n > self.capacity {
+            return Err(SnapshotError::Malformed(format!(
+                "retransmission window holds {n} flits but capacity is {}",
+                self.capacity
+            )));
+        }
+        self.window.clear();
+        for _ in 0..n {
+            let seq = r.u8()?;
+            let flit = snap::load_flit(r)?;
+            self.window.push_back((seq, flit));
+        }
+        self.next_seq = r.u8()?;
+        self.resend = if r.bool()? {
+            let idx = r.len()?;
+            if idx >= n {
+                return Err(SnapshotError::Malformed(format!(
+                    "rewind pointer {idx} outside window of {n}"
+                )));
+            }
+            Some(idx)
+        } else {
+            None
+        };
+        self.retransmissions = r.u64()?;
+        self.sent = r.u64()?;
+        self.idle_reverse_cycles = r.u64()?;
+        self.timeouts = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for LinkRx {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.u8(self.expected);
+        w.u64(self.accepted);
+        w.u64(self.rejected);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.expected = r.u8()?;
+        self.accepted = r.u64()?;
+        self.rejected = r.u64()?;
+        Ok(())
     }
 }
 
@@ -784,6 +861,69 @@ mod tests {
         assert!(tx.transmit(None).is_none(), "rewind silently discarded");
         assert_eq!(tx.retransmissions(), 0);
         assert_eq!(tx.in_flight(), 1, "flit is stuck forever");
+    }
+
+    /// A restored sender/receiver pair must continue the protocol
+    /// bit-identically: same sequences, same rewinds, same statistics.
+    #[test]
+    fn flow_control_snapshot_resumes_mid_rewind() {
+        let mut tx = LinkTx::with_timeout(4, 9);
+        let mut rx = LinkRx::new();
+        let mut sent = Vec::new();
+        for i in 0..3 {
+            sent.push(tx.transmit(Some(flit(i))).unwrap());
+        }
+        // Deliver flit 0, then nACK flit 1: a rewind is now in progress.
+        let (_, reply) = rx.receive(sent[0], true);
+        tx.process(Some(reply));
+        tx.process(Some(AckNack { seq: 1, ack: false }));
+        assert!(!tx.ready_for_new(), "rewind must be in progress");
+
+        let mut w = SnapshotWriter::new();
+        tx.save_state(&mut w);
+        rx.save_state(&mut w);
+        let bytes = w.finish();
+        let mut restored_tx = LinkTx::with_timeout(4, 9);
+        let mut restored_rx = LinkRx::new();
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        restored_tx.load_state(&mut r).unwrap();
+        restored_rx.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(restored_rx.expected(), rx.expected());
+        assert_eq!(restored_rx.accepted(), rx.accepted());
+        for _ in 0..20 {
+            let a = tx.transmit(None);
+            let b = restored_tx.transmit(None);
+            assert_eq!(a, b);
+            if let (Some(la), Some(lb)) = (a, b) {
+                let (da, ra) = rx.receive(la, true);
+                let (db, rb) = restored_rx.receive(lb, true);
+                assert_eq!(da, db);
+                assert_eq!(ra, rb);
+                tx.process(Some(ra));
+                restored_tx.process(Some(rb));
+            }
+        }
+        assert_eq!(tx.retransmissions(), restored_tx.retransmissions());
+        assert_eq!(tx.sent(), restored_tx.sent());
+    }
+
+    #[test]
+    fn oversized_window_snapshot_rejected() {
+        let mut tx = LinkTx::new(4);
+        for i in 0..4 {
+            tx.transmit(Some(flit(i)));
+        }
+        let mut w = SnapshotWriter::new();
+        tx.save_state(&mut w);
+        let bytes = w.finish();
+        let mut small = LinkTx::new(2);
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        assert!(matches!(
+            small.load_state(&mut r),
+            Err(SnapshotError::Malformed(_))
+        ));
     }
 
     /// Lossless direct connection: everything sent arrives in order.

@@ -61,6 +61,7 @@ pub mod monitor;
 pub mod ni;
 pub mod noc;
 pub mod packet;
+pub(crate) mod snap;
 pub mod switch;
 
 pub use arbiter::Arbiter;

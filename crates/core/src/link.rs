@@ -11,10 +11,11 @@
 
 use std::collections::VecDeque;
 
-use xpipes_sim::{FaultPlan, SimRng};
+use xpipes_sim::{FaultPlan, SimRng, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 
 use crate::config::LinkConfig;
 use crate::flow_control::{AckNack, LinkFlit};
+use crate::snap;
 
 /// A pipelined link instance.
 ///
@@ -176,6 +177,53 @@ impl Link {
             self.traversals += 1;
         }
         (fwd_out, rev_out)
+    }
+}
+
+impl Snapshot for Link {
+    /// Captures both pipes, the error-injector RNG position, the burst
+    /// countdown and the statistics counters. The fault plan and pipe
+    /// depth are structural and not stored; `occupied` is recomputed on
+    /// load.
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.len(self.fwd.len());
+        for slot in &self.fwd {
+            snap::save_opt_link_flit(w, slot);
+        }
+        for slot in &self.rev {
+            snap::save_opt_acknack(w, slot);
+        }
+        w.rng(&self.rng);
+        w.u64(self.traversals);
+        w.u64(self.corrupted);
+        w.u64(self.rev_dropped);
+        w.u64(self.rev_corrupted);
+        w.u32(self.burst_remaining);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let interior = r.len()?;
+        if interior != self.fwd.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "link has {} interior stages, snapshot has {interior}",
+                self.fwd.len()
+            )));
+        }
+        for slot in self.fwd.iter_mut() {
+            *slot = snap::load_opt_link_flit(r)?;
+        }
+        for slot in self.rev.iter_mut() {
+            *slot = snap::load_opt_acknack(r)?;
+        }
+        self.rng = r.rng()?;
+        self.traversals = r.u64()?;
+        self.corrupted = r.u64()?;
+        self.rev_dropped = r.u64()?;
+        self.rev_corrupted = r.u64()?;
+        self.burst_remaining = r.u32()?;
+        self.occupied = self.fwd.iter().filter(|s| s.is_some()).count()
+            + self.rev.iter().filter(|s| s.is_some()).count();
+        Ok(())
     }
 }
 
@@ -389,6 +437,58 @@ mod tests {
             }
         }
         delivered
+    }
+
+    /// Checkpointing a noisy link mid-flight and restoring into a fresh
+    /// instance must continue the exact corruption/drop sequence.
+    #[test]
+    fn link_snapshot_resumes_error_stream_bit_exactly() {
+        let plan = FaultPlan {
+            flit_corruption_rate: 0.1,
+            corruption_burst_len: 3,
+            ack_loss_rate: 0.1,
+            ..FaultPlan::none()
+        };
+        let mut link = Link::with_faults(LinkConfig::new(3), SimRng::seed(99), plan);
+        for i in 0..37u64 {
+            link.shift(
+                Some(lf(i)),
+                Some(AckNack {
+                    seq: (i % 64) as u8,
+                    ack: true,
+                }),
+            );
+        }
+        let mut w = SnapshotWriter::new();
+        link.save_state(&mut w);
+        let bytes = w.finish();
+        let mut restored = Link::with_faults(LinkConfig::new(3), SimRng::seed(0), plan);
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        restored.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.is_empty(), link.is_empty());
+        for i in 37..400u64 {
+            let a = link.shift(Some(lf(i)), Some(AckNack { seq: 0, ack: true }));
+            let b = restored.shift(Some(lf(i)), Some(AckNack { seq: 0, ack: true }));
+            assert_eq!(a, b, "cycle {i}");
+        }
+        assert_eq!(link.corrupted(), restored.corrupted());
+        assert_eq!(link.rev_dropped(), restored.rev_dropped());
+        assert_eq!(link.traversals(), restored.traversals());
+    }
+
+    #[test]
+    fn link_snapshot_depth_mismatch_rejected() {
+        let link = Link::new(LinkConfig::new(4), SimRng::seed(1));
+        let mut w = SnapshotWriter::new();
+        link.save_state(&mut w);
+        let bytes = w.finish();
+        let mut other = Link::new(LinkConfig::new(2), SimRng::seed(1));
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        assert!(matches!(
+            other.load_state(&mut r),
+            Err(SnapshotError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -25,8 +25,11 @@
 
 use std::collections::VecDeque;
 
+use xpipes_sim::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
+
 use crate::flit::Flit;
 use crate::flow_control::{seq_next, LinkRx, LinkTx};
+use crate::snap;
 
 /// Which invariant a violation report refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -343,6 +346,99 @@ impl ProtocolMonitor {
     }
 }
 
+fn save_seq_flit_queue(w: &mut SnapshotWriter, q: &VecDeque<(u8, Flit)>) {
+    w.len(q.len());
+    for (seq, flit) in q {
+        w.u8(*seq);
+        snap::save_flit(w, flit);
+    }
+}
+
+fn load_seq_flit_queue(r: &mut SnapshotReader<'_>) -> Result<VecDeque<(u8, Flit)>, SnapshotError> {
+    let n = r.len()?;
+    let mut q = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        let seq = r.u8()?;
+        let flit = snap::load_flit(r)?;
+        q.push_back((seq, flit));
+    }
+    Ok(q)
+}
+
+impl Snapshot for ProtocolMonitor {
+    /// Captures every channel's observer state and the recorded
+    /// violations. Channel labels and the configuration are structural:
+    /// a restored monitor must already have the same channels registered.
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.len(self.chans.len());
+        for chan in &self.chans {
+            w.u8(chan.expected_new_seq);
+            save_seq_flit_queue(w, &chan.pending);
+            save_seq_flit_queue(w, &chan.delivered);
+            w.u64(chan.noted_new);
+            w.u64(chan.noted_accepted);
+            w.u64(chan.last_progress);
+            w.bool(chan.live_reported);
+        }
+        w.len(self.violations.len());
+        for v in &self.violations {
+            w.u64(v.cycle);
+            w.str(&v.channel);
+            w.u8(match v.kind {
+                InvariantKind::InOrderDelivery => 0,
+                InvariantKind::SeqAliasing => 1,
+                InvariantKind::Liveness => 2,
+                InvariantKind::Conservation => 3,
+            });
+            w.str(&v.detail);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.len()?;
+        if n != self.chans.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "monitor watches {} channels, snapshot has {n}",
+                self.chans.len()
+            )));
+        }
+        for chan in self.chans.iter_mut() {
+            chan.expected_new_seq = r.u8()?;
+            chan.pending = load_seq_flit_queue(r)?;
+            chan.delivered = load_seq_flit_queue(r)?;
+            chan.noted_new = r.u64()?;
+            chan.noted_accepted = r.u64()?;
+            chan.last_progress = r.u64()?;
+            chan.live_reported = r.bool()?;
+        }
+        let n = r.len()?;
+        self.violations.clear();
+        for _ in 0..n {
+            let cycle = r.u64()?;
+            let channel = r.str()?;
+            let kind = match r.u8()? {
+                0 => InvariantKind::InOrderDelivery,
+                1 => InvariantKind::SeqAliasing,
+                2 => InvariantKind::Liveness,
+                3 => InvariantKind::Conservation,
+                other => {
+                    return Err(SnapshotError::Malformed(format!(
+                        "bad invariant kind tag {other}"
+                    )))
+                }
+            };
+            let detail = r.str()?;
+            self.violations.push(InvariantViolation {
+                cycle,
+                channel,
+                kind,
+                detail,
+            });
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,6 +533,40 @@ mod tests {
         m.note_transmit(ch, 0, &flit(1), 0);
         m.finish(100);
         assert_eq!(m.violations()[0].kind, InvariantKind::Conservation);
+    }
+
+    #[test]
+    fn monitor_snapshot_preserves_observer_state() {
+        let mut m = ProtocolMonitor::new(MonitorConfig::default());
+        let ch = m.add_channel("sw0->sw1");
+        m.note_transmit(ch, 0, &flit(1), 0);
+        m.note_transmit(ch, 1, &flit(2), 1);
+        m.note_accept(ch, &flit(1), 2);
+        m.note_transmit(ch, 0, &flit(9), 3); // aliasing violation
+        assert_eq!(m.violations().len(), 1);
+
+        let mut w = SnapshotWriter::new();
+        m.save_state(&mut w);
+        let bytes = w.finish();
+        let mut restored = ProtocolMonitor::new(MonitorConfig::default());
+        restored.add_channel("sw0->sw1");
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        restored.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(restored.violations(), m.violations());
+        // Both monitors must flag the still-undelivered flit identically.
+        m.finish(50);
+        restored.finish(50);
+        assert_eq!(restored.violations(), m.violations());
+
+        // Channel-count mismatch is rejected.
+        let mut other = ProtocolMonitor::new(MonitorConfig::default());
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        assert!(matches!(
+            other.load_state(&mut r),
+            Err(SnapshotError::Malformed(_))
+        ));
     }
 
     #[test]

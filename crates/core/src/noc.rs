@@ -28,7 +28,9 @@ use xpipes_sim::telemetry::{
     TelemetrySummary, TraceEvent, TraceEventKind,
 };
 use xpipes_sim::trace::{SignalId, VcdWriter};
-use xpipes_sim::{Cycle, FaultPlan, RunningStats, SimRng};
+use xpipes_sim::{
+    Cycle, FaultPlan, RunningStats, SimRng, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+};
 use xpipes_topology::spec::NocSpec;
 use xpipes_topology::{NiId, NiKind, SwitchId};
 
@@ -38,6 +40,7 @@ use crate::flow_control::{default_ack_timeout, AckNack, FlowSabotage, LinkFlit, 
 use crate::link::Link;
 use crate::monitor::{InvariantViolation, MonitorConfig, ProtocolMonitor};
 use crate::ni::{InitiatorNi, NiStats, TargetNi};
+use crate::snap;
 use crate::switch::{Switch, SwitchStats};
 
 /// One side of a channel.
@@ -1465,6 +1468,201 @@ impl Noc {
     }
 }
 
+impl Snapshot for TelemetryState {
+    /// Mutable telemetry state only: the registry values/epochs, the
+    /// per-channel traversal baselines, the open window start, and the
+    /// timeline/flight sub-observers. Metric handle maps and the config
+    /// are structural and rebuilt by [`Noc::enable_telemetry`]. The
+    /// sub-observers ride in skippable blobs so a snapshot taken with a
+    /// different timeline/flight setting still restores the rest.
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        self.registry.save_state(w);
+        w.len(self.last_traversals.len());
+        for &t in &self.last_traversals {
+            w.u64(t);
+        }
+        w.u64(self.window_start);
+        save_section(w, self.timeline.as_ref());
+        save_section(w, self.flight.as_ref());
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.registry.load_state(r)?;
+        let n = r.len()?;
+        if n != self.last_traversals.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "telemetry tracks {} channels, snapshot {n}",
+                self.last_traversals.len()
+            )));
+        }
+        for t in &mut self.last_traversals {
+            *t = r.u64()?;
+        }
+        self.window_start = r.u64()?;
+        load_section(r, self.timeline.as_mut())?;
+        load_section(r, self.flight.as_mut())?;
+        Ok(())
+    }
+}
+
+/// Writes one optional observer section: a presence flag, then (when
+/// present) the observer's state as a nested length-prefixed container.
+/// The length prefix lets a reader skip a section its network does not
+/// collect, so observers can differ between save and restore.
+fn save_section<T: Snapshot>(w: &mut SnapshotWriter, obs: Option<&T>) {
+    match obs {
+        Some(t) => {
+            w.bool(true);
+            let mut inner = SnapshotWriter::new();
+            t.save_state(&mut inner);
+            w.bytes(&inner.finish());
+        }
+        None => w.bool(false),
+    }
+}
+
+/// Reads one optional observer section written by [`save_section`].
+/// Present in the snapshot but absent here → skipped; absent in the
+/// snapshot but enabled here → the observer keeps its fresh state (the
+/// time-travel path: replay a plain checkpoint with recorders armed).
+fn load_section<T: Snapshot>(
+    r: &mut SnapshotReader<'_>,
+    obs: Option<&mut T>,
+) -> Result<(), SnapshotError> {
+    if !r.bool()? {
+        return Ok(());
+    }
+    let blob = r.bytes()?;
+    if let Some(t) = obs {
+        let mut inner = SnapshotReader::open(&blob)?;
+        t.load_state(&mut inner)?;
+        inner.finish()?;
+    }
+    Ok(())
+}
+
+impl Noc {
+    /// Captures the complete mutable simulation state — every switch
+    /// queue and arbitration pointer, NI packetization register, link
+    /// pipeline stage and ACK/nACK back-channel, retransmission window,
+    /// RNG stream position, and (when enabled) observer state — into a
+    /// versioned, integrity-hashed byte container.
+    ///
+    /// Restoring the bytes with [`restore`](Self::restore) into a
+    /// network freshly assembled from the **same spec, seed, and fault
+    /// plan** resumes the run bit-exactly: statistics, reports, VCD
+    /// continuations, and all future RNG draws match the uninterrupted
+    /// run. Structural configuration is deliberately not stored.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.u64(self.now.as_u64());
+        w.rng(&self.fault_rng);
+        w.len(self.switches.len());
+        for sw in &self.switches {
+            sw.save_state(&mut w);
+        }
+        w.len(self.initiators.len());
+        for ni in &self.initiators {
+            ni.save_state(&mut w);
+        }
+        w.len(self.targets.len());
+        for ni in &self.targets {
+            ni.save_state(&mut w);
+        }
+        w.len(self.channels.len());
+        for ch in &self.channels {
+            ch.link.save_state(&mut w);
+            snap::save_opt_link_flit(&mut w, &ch.fwd_latch);
+            snap::save_opt_acknack(&mut w, &ch.rev_latch);
+            snap::save_opt_link_flit(&mut w, &ch.fwd_arrival);
+            snap::save_opt_acknack(&mut w, &ch.rev_arrival);
+        }
+        // Observers, each in a skippable section: the restored network
+        // may collect a different set.
+        save_section(&mut w, self.trace.as_ref().map(|t| &t.vcd));
+        save_section(&mut w, self.monitor.as_ref());
+        save_section(&mut w, self.telemetry.as_deref());
+        save_section(&mut w, self.attribution.as_deref());
+        w.finish()
+    }
+
+    /// Restores state captured by [`checkpoint`](Self::checkpoint) into
+    /// this network, which must have been assembled from the same spec,
+    /// seed, and fault plan as the one the checkpoint was taken from.
+    ///
+    /// Observers need not match: a section present in the snapshot but
+    /// not enabled here is skipped, and an observer enabled here but
+    /// absent from the snapshot starts fresh (how time-travel replay
+    /// arms the flight recorder and attribution on a plain checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Container-level problems (truncation, bad magic, version or hash
+    /// mismatch) are reported before anything is touched; shape
+    /// mismatches surface as [`SnapshotError::Malformed`] or
+    /// [`SnapshotError::TrailingBytes`] part-way through — the network
+    /// is then in an unspecified state and should be rebuilt.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapshotReader::open(bytes)?;
+        let now = r.u64()?;
+        self.fault_rng = r.rng()?;
+        let n = r.len()?;
+        if n != self.switches.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "network has {} switches, snapshot {n}",
+                self.switches.len()
+            )));
+        }
+        for sw in &mut self.switches {
+            sw.load_state(&mut r)?;
+        }
+        let n = r.len()?;
+        if n != self.initiators.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "network has {} initiator NIs, snapshot {n}",
+                self.initiators.len()
+            )));
+        }
+        for ni in &mut self.initiators {
+            ni.load_state(&mut r)?;
+        }
+        let n = r.len()?;
+        if n != self.targets.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "network has {} target NIs, snapshot {n}",
+                self.targets.len()
+            )));
+        }
+        for ni in &mut self.targets {
+            ni.load_state(&mut r)?;
+        }
+        let n = r.len()?;
+        if n != self.channels.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "network has {} channels, snapshot {n}",
+                self.channels.len()
+            )));
+        }
+        for ch in &mut self.channels {
+            ch.link.load_state(&mut r)?;
+            ch.fwd_latch = snap::load_opt_link_flit(&mut r)?;
+            ch.rev_latch = snap::load_opt_acknack(&mut r)?;
+            ch.fwd_arrival = snap::load_opt_link_flit(&mut r)?;
+            ch.rev_arrival = snap::load_opt_acknack(&mut r)?;
+        }
+        load_section(&mut r, self.trace.as_mut().map(|t| &mut t.vcd))?;
+        load_section(&mut r, self.monitor.as_mut())?;
+        load_section(&mut r, self.telemetry.as_deref_mut())?;
+        load_section(&mut r, self.attribution.as_deref_mut())?;
+        r.finish()?;
+        self.now = Cycle::new(now);
+        // Activity flags are a cache over the state just replaced; the
+        // next fast-path step re-derives them.
+        self.flags_valid = false;
+        Ok(())
+    }
+}
+
 impl std::fmt::Debug for Noc {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Noc")
@@ -1672,6 +1870,167 @@ mod tests {
             "no activity recorded"
         );
         assert!(Noc::new(&spec).unwrap().vcd().is_none());
+    }
+
+    /// Drives both networks forward in lock-step, submitting the same
+    /// traffic, and asserts their checkpoints stay byte-identical (the
+    /// strongest state-equality check available: every queue, window,
+    /// RNG position, and statistic must match).
+    fn assert_locked_futures(a: &mut Noc, b: &mut Noc, cpu: NiId, cycles: u64) {
+        for t in 0..cycles {
+            if t % 17 == 0 {
+                let req = Request::write(8 * (t % 64), vec![t]).unwrap();
+                a.submit(cpu, req.clone()).unwrap();
+                b.submit(cpu, req).unwrap();
+            }
+            a.step();
+            b.step();
+        }
+        assert_eq!(
+            a.checkpoint(),
+            b.checkpoint(),
+            "restored network diverged from the original"
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_identically_under_faults() {
+        let (spec, cpu, mem) = demo_spec();
+        let plan = FaultPlan {
+            flit_corruption_rate: 0.02,
+            ack_loss_rate: 0.02,
+            stall_rate: 0.001,
+            stall_len: 3,
+            ..FaultPlan::none()
+        };
+        let mut noc = Noc::with_faults(&spec, 77, &plan).unwrap();
+        for i in 0..6u64 {
+            noc.submit(cpu, Request::write(i * 8, vec![i + 1]).unwrap())
+                .unwrap();
+        }
+        noc.run(120); // checkpoint mid-flight, retransmissions pending
+        let bytes = noc.checkpoint();
+
+        let mut twin = Noc::with_faults(&spec, 77, &plan).unwrap();
+        twin.restore(&bytes).unwrap();
+        assert_eq!(twin.now(), noc.now());
+        assert_locked_futures(&mut noc, &mut twin, cpu, 600);
+        assert!(noc.run_until_idle(20_000));
+        assert!(twin.run_until_idle(20_000));
+        assert_eq!(
+            noc.memory(mem).unwrap().export_words(),
+            twin.memory(mem).unwrap().export_words()
+        );
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_observer_state() {
+        let (spec, cpu, _) = demo_spec();
+        let mut noc = Noc::with_seed(&spec, 5).unwrap();
+        noc.enable_monitor(MonitorConfig::default());
+        noc.enable_telemetry(TelemetryConfig::full());
+        noc.enable_attribution();
+        noc.submit(cpu, Request::write(0x0, vec![1, 2, 3]).unwrap())
+            .unwrap();
+        noc.run(40);
+        let bytes = noc.checkpoint();
+
+        let mut twin = Noc::with_seed(&spec, 5).unwrap();
+        twin.enable_monitor(MonitorConfig::default());
+        twin.enable_telemetry(TelemetryConfig::full());
+        twin.enable_attribution();
+        twin.restore(&bytes).unwrap();
+        assert_locked_futures(&mut noc, &mut twin, cpu, 300);
+        noc.flush_telemetry();
+        twin.flush_telemetry();
+        assert_eq!(
+            noc.telemetry_registry().unwrap().to_json().render(),
+            twin.telemetry_registry().unwrap().to_json().render()
+        );
+        assert_eq!(noc.timeline_json(), twin.timeline_json());
+        assert_eq!(
+            noc.attribution_report().map(|j| j.render()),
+            twin.attribution_report().map(|j| j.render())
+        );
+    }
+
+    #[test]
+    fn restore_tolerates_observer_mismatch() {
+        let (spec, cpu, _) = demo_spec();
+        // Snapshot from a plain network...
+        let mut noc = Noc::with_seed(&spec, 5).unwrap();
+        noc.submit(cpu, Request::write(0x0, vec![9]).unwrap())
+            .unwrap();
+        noc.run(25);
+        let plain = noc.checkpoint();
+        // ...restores into one with every recorder armed (time travel).
+        let mut replay = Noc::with_seed(&spec, 5).unwrap();
+        replay.enable_monitor(MonitorConfig::default());
+        replay.enable_telemetry(TelemetryConfig::full());
+        replay.enable_attribution();
+        replay.restore(&plain).unwrap();
+        assert_eq!(replay.now(), noc.now());
+        assert!(replay.run_until_idle(2_000));
+        assert!(replay.monitor_violations().is_empty());
+
+        // And a snapshot with observers restores into a plain network:
+        // the sections are skipped wholesale.
+        let rich = replay.checkpoint();
+        let mut plain_noc = Noc::with_seed(&spec, 5).unwrap();
+        plain_noc.restore(&rich).unwrap();
+        assert_eq!(plain_noc.now(), replay.now());
+    }
+
+    #[test]
+    fn restore_rejects_differently_shaped_network() {
+        let (spec, cpu, _) = demo_spec();
+        let mut noc = Noc::new(&spec).unwrap();
+        noc.submit(cpu, Request::write(0x0, vec![1]).unwrap())
+            .unwrap();
+        noc.run(10);
+        let bytes = noc.checkpoint();
+
+        let mut b = mesh(3, 3).unwrap();
+        let cpu2 = b.attach_initiator("cpu", (0, 0)).unwrap();
+        let mem2 = b.attach_target("mem", (2, 2)).unwrap();
+        let mut other_spec = NocSpec::new("other", b.into_topology());
+        other_spec.map_address(mem2, 0x0, 0x10000).unwrap();
+        let _ = cpu2;
+        let mut other = Noc::new(&other_spec).unwrap();
+        assert!(other.restore(&bytes).is_err());
+        assert!(matches!(
+            Noc::new(&spec).unwrap().restore(b"junk"),
+            Err(SnapshotError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn checkpoint_stitches_byte_identical_vcd() {
+        let (spec, cpu, _) = demo_spec();
+        // Uninterrupted traced run.
+        let mut whole = Noc::with_seed(&spec, 11).unwrap();
+        whole.enable_trace();
+        whole
+            .submit(cpu, Request::write(0x0, vec![1, 2, 3, 4]).unwrap())
+            .unwrap();
+        whole.run(200);
+
+        // Same run checkpointed at cycle 60 and continued elsewhere.
+        let mut first = Noc::with_seed(&spec, 11).unwrap();
+        first.enable_trace();
+        first
+            .submit(cpu, Request::write(0x0, vec![1, 2, 3, 4]).unwrap())
+            .unwrap();
+        first.run(60);
+        let bytes = first.checkpoint();
+        let head = first.vcd().unwrap();
+
+        let mut second = Noc::with_seed(&spec, 11).unwrap();
+        second.enable_trace();
+        second.restore(&bytes).unwrap();
+        second.run(140);
+        let tail = second.vcd().unwrap();
+        assert_eq!(format!("{head}{tail}"), whole.vcd().unwrap());
     }
 
     #[test]

@@ -71,6 +71,28 @@ impl SlaveMemory {
         self.words.insert(addr & !7, value);
     }
 
+    /// Memory contents as `(word_address, value)` pairs in ascending
+    /// address order — the deterministic export checkpointing relies on.
+    pub fn export_words(&self) -> Vec<(u64, u64)> {
+        let mut words: Vec<(u64, u64)> = self.words.iter().map(|(&a, &v)| (a, v)).collect();
+        words.sort_unstable_by_key(|&(a, _)| a);
+        words
+    }
+
+    /// Replaces the memory contents and access counters with previously
+    /// exported state (the inverse of [`export_words`](Self::export_words)
+    /// plus [`reads`](Self::reads)/[`writes`](Self::writes)).
+    pub fn import_state(
+        &mut self,
+        words: impl IntoIterator<Item = (u64, u64)>,
+        reads: u64,
+        writes: u64,
+    ) {
+        self.words = words.into_iter().collect();
+        self.reads = reads;
+        self.writes = writes;
+    }
+
     /// Executes a whole transaction, returning the response if the command
     /// expects one. Addresses are word-aligned internally (8-byte words);
     /// writes honour the per-byte enables (`MByteEn`).
@@ -295,6 +317,22 @@ mod tests {
             .unwrap();
         let resp = mem.execute(&req).unwrap();
         assert_eq!(resp.data(), &[102, 103, 100, 101]);
+    }
+
+    #[test]
+    fn memory_state_export_import_roundtrip() {
+        let mut mem = SlaveMemory::new(1);
+        mem.execute(&Request::write(0x20, vec![7, 8]).unwrap());
+        mem.execute(&Request::read(0x20, 1).unwrap());
+        let words = mem.export_words();
+        assert_eq!(words, vec![(0x20, 7), (0x28, 8)]);
+        let mut copy = SlaveMemory::new(1);
+        copy.import_state(words, mem.reads(), mem.writes());
+        assert_eq!(copy.peek(0x20), 7);
+        assert_eq!(copy.peek(0x28), 8);
+        assert_eq!(copy.reads(), 1);
+        assert_eq!(copy.writes(), 1);
+        assert_eq!(copy.export_words(), mem.export_words());
     }
 
     #[test]

@@ -37,6 +37,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::json::Json;
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::stats::{Histogram, RunningStats};
 
 /// Multiplicative hasher for packet ids. Packet ids are small sequential
@@ -694,6 +695,198 @@ impl AttributionEngine {
             }
         }
         events
+    }
+}
+
+fn save_opt_u64(w: &mut SnapshotWriter, v: Option<u64>) {
+    w.bool(v.is_some());
+    w.u64(v.unwrap_or(0));
+}
+
+fn load_opt_u64(r: &mut SnapshotReader<'_>) -> Result<Option<u64>, SnapshotError> {
+    let present = r.bool()?;
+    let v = r.u64()?;
+    Ok(present.then_some(v))
+}
+
+fn save_phases(w: &mut SnapshotWriter, phases: &[u64; PHASE_COUNT]) {
+    for &p in phases {
+        w.u64(p);
+    }
+}
+
+fn load_phases(r: &mut SnapshotReader<'_>) -> Result<[u64; PHASE_COUNT], SnapshotError> {
+    let mut phases = [0u64; PHASE_COUNT];
+    for p in &mut phases {
+        *p = r.u64()?;
+    }
+    Ok(phases)
+}
+
+fn save_exemplar(w: &mut SnapshotWriter, ex: &Exemplar) {
+    w.u64(ex.packet_id);
+    w.u64(ex.injected_at);
+    w.u64(ex.delivered_at);
+    w.u64(ex.total);
+    save_phases(w, &ex.phases);
+    w.len(ex.hops.len());
+    for h in &ex.hops {
+        w.u32(h.channel);
+        save_opt_u64(w, h.grant);
+        w.u64(h.first_tx);
+        w.u64(h.accepted);
+    }
+}
+
+fn load_exemplar(r: &mut SnapshotReader<'_>) -> Result<Exemplar, SnapshotError> {
+    let packet_id = r.u64()?;
+    let injected_at = r.u64()?;
+    let delivered_at = r.u64()?;
+    let total = r.u64()?;
+    let phases = load_phases(r)?;
+    let n = r.len()?;
+    let mut hops = Vec::with_capacity(n.min(256));
+    for _ in 0..n {
+        hops.push(ExemplarHop {
+            channel: r.u32()?,
+            grant: load_opt_u64(r)?,
+            first_tx: r.u64()?,
+            accepted: r.u64()?,
+        });
+    }
+    Ok(Exemplar {
+        packet_id,
+        injected_at,
+        delivered_at,
+        total,
+        phases,
+        hops,
+    })
+}
+
+impl Snapshot for AttributionEngine {
+    /// Saves the mutable ledger state — channels, NI labels and the
+    /// grant routing table are structural (rebuilt by
+    /// `enable_attribution` on restore). In-flight ledgers are written
+    /// in ascending packet-id order so the payload is deterministic
+    /// despite the hash map.
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.len(self.expected_new_seq.len());
+        for &s in &self.expected_new_seq {
+            w.u8(s);
+        }
+        let mut ids: Vec<u64> = self.inflight.keys().copied().collect();
+        ids.sort_unstable();
+        w.len(ids.len());
+        for id in ids {
+            let ledger = &self.inflight[&id];
+            w.u64(id);
+            w.u64(ledger.injected_at);
+            w.u64(ledger.src as u64);
+            save_opt_u64(w, ledger.head_first_tx);
+            w.len(ledger.hops.len());
+            for h in &ledger.hops {
+                w.u32(h.channel);
+                save_opt_u64(w, h.grant);
+                save_opt_u64(w, h.first_tx);
+                save_opt_u64(w, h.accepted);
+            }
+        }
+        w.len(self.flows.len());
+        for (&(src, dst), agg) in &self.flows {
+            w.u64(src as u64);
+            w.u64(dst as u64);
+            w.u64(agg.packets);
+            agg.hist.save_state(w);
+            agg.stats.save_state(w);
+            w.u64(agg.max);
+            save_phases(w, &agg.phases);
+            save_exemplar(w, &agg.worst);
+        }
+        w.len(self.channel_phases.len());
+        for phases in &self.channel_phases {
+            save_phases(w, phases);
+        }
+        w.u64(self.delivered);
+        w.u64(self.incomplete);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.len()?;
+        if n != self.expected_new_seq.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "attribution channel count mismatch: snapshot {n}, target {}",
+                self.expected_new_seq.len()
+            )));
+        }
+        for s in &mut self.expected_new_seq {
+            *s = r.u8()?;
+        }
+        self.inflight.clear();
+        let packets = r.len()?;
+        for _ in 0..packets {
+            let id = r.u64()?;
+            let injected_at = r.u64()?;
+            let src = r.u64()? as usize;
+            let head_first_tx = load_opt_u64(r)?;
+            let hop_count = r.len()?;
+            let mut hops = Vec::with_capacity(hop_count.min(256));
+            for _ in 0..hop_count {
+                hops.push(HopRecord {
+                    channel: r.u32()?,
+                    grant: load_opt_u64(r)?,
+                    first_tx: load_opt_u64(r)?,
+                    accepted: load_opt_u64(r)?,
+                });
+            }
+            self.inflight.insert(
+                id,
+                PacketLedger {
+                    injected_at,
+                    src,
+                    head_first_tx,
+                    hops,
+                },
+            );
+        }
+        self.flows.clear();
+        let flow_count = r.len()?;
+        for _ in 0..flow_count {
+            let src = r.u64()? as usize;
+            let dst = r.u64()? as usize;
+            let packets = r.u64()?;
+            let mut hist = Histogram::new(HIST_RANGE.0, HIST_RANGE.1, HIST_RANGE.2);
+            hist.load_state(r)?;
+            let mut stats = RunningStats::new();
+            stats.load_state(r)?;
+            let max = r.u64()?;
+            let phases = load_phases(r)?;
+            let worst = load_exemplar(r)?;
+            self.flows.insert(
+                (src, dst),
+                FlowAgg {
+                    packets,
+                    hist,
+                    stats,
+                    max,
+                    phases,
+                    worst,
+                },
+            );
+        }
+        let chans = r.len()?;
+        if chans != self.channel_phases.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "attribution phase-table size mismatch: snapshot {chans}, target {}",
+                self.channel_phases.len()
+            )));
+        }
+        for phases in &mut self.channel_phases {
+            *phases = load_phases(r)?;
+        }
+        self.delivered = r.u64()?;
+        self.incomplete = r.u64()?;
+        Ok(())
     }
 }
 

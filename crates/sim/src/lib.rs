@@ -10,6 +10,8 @@
 //!   from the *previous* cycle's outputs, then all registers commit
 //!   simultaneously ([`Register`], [`Clocked`]),
 //! * deterministic random sources ([`rng::SimRng`]),
+//! * versioned, integrity-hashed state snapshots for checkpoint/restore
+//!   ([`snapshot`]),
 //! * deterministic fan-out of independent seeded runs ([`parallel`]),
 //! * statistics gathering ([`stats`]),
 //! * value-change-dump tracing ([`trace::VcdWriter`]),
@@ -54,6 +56,7 @@ pub mod json;
 pub mod kernel;
 pub mod parallel;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
@@ -65,7 +68,8 @@ pub use attribution::{
 pub use faults::{CampaignReport, FaultKind, FaultPlan, FaultRun, RunSummary};
 pub use json::Json;
 pub use kernel::{Clocked, Register, Simulation};
-pub use rng::SimRng;
+pub use rng::{RngState, SimRng};
+pub use snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 pub use stats::{Counter, Histogram, RunningStats};
 pub use telemetry::{
     CongestionTimeline, FlightRecorder, MetricsRegistry, TelemetrySummary, TraceEvent,

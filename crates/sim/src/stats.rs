@@ -6,6 +6,8 @@
 
 use std::fmt;
 
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
+
 /// A saturating event counter.
 ///
 /// # Examples
@@ -162,6 +164,31 @@ impl RunningStats {
     }
 }
 
+impl Snapshot for RunningStats {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.u64(self.count);
+        w.f64(self.mean);
+        w.f64(self.m2);
+        w.bool(self.min.is_some());
+        w.f64(self.min.unwrap_or(0.0));
+        w.bool(self.max.is_some());
+        w.f64(self.max.unwrap_or(0.0));
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.count = r.u64()?;
+        self.mean = r.f64()?;
+        self.m2 = r.f64()?;
+        let has_min = r.bool()?;
+        let min = r.f64()?;
+        self.min = has_min.then_some(min);
+        let has_max = r.bool()?;
+        let max = r.f64()?;
+        self.max = has_max.then_some(max);
+        Ok(())
+    }
+}
+
 /// A fixed-bucket histogram over `u64` samples (e.g. latency in cycles).
 ///
 /// Values at or above the upper bound land in the overflow bucket so no
@@ -264,6 +291,11 @@ impl Histogram {
         self.total = self.total.saturating_add(other.total);
     }
 
+    /// Bounds and bucket count, for checkpoint shape validation.
+    pub fn shape(&self) -> (u64, u64, usize) {
+        (self.lo, self.hi, self.buckets.len())
+    }
+
     /// Approximate p-th percentile (0–100) assuming uniform density within
     /// a bucket; `None` when empty.
     pub fn percentile(&self, p: f64) -> Option<u64> {
@@ -285,6 +317,39 @@ impl Histogram {
             }
         }
         Some(self.hi)
+    }
+}
+
+impl Snapshot for Histogram {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.u64(self.lo);
+        w.u64(self.hi);
+        w.len(self.buckets.len());
+        for &b in &self.buckets {
+            w.u64(b);
+        }
+        w.u64(self.underflow);
+        w.u64(self.overflow);
+        w.u64(self.total);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let lo = r.u64()?;
+        let hi = r.u64()?;
+        let n = r.len()?;
+        if (lo, hi, n) != self.shape() {
+            return Err(SnapshotError::Malformed(format!(
+                "histogram shape mismatch: snapshot [{lo}, {hi}) x {n}, target {:?}",
+                self.shape()
+            )));
+        }
+        for b in &mut self.buckets {
+            *b = r.u64()?;
+        }
+        self.underflow = r.u64()?;
+        self.overflow = r.u64()?;
+        self.total = r.u64()?;
+        Ok(())
     }
 }
 
@@ -515,5 +580,40 @@ mod tests {
         let mut a = Histogram::new(0, 100, 10);
         let b = Histogram::new(0, 100, 20);
         a.merge(&b);
+    }
+
+    #[test]
+    fn stats_and_histogram_snapshot_roundtrip() {
+        let mut s = RunningStats::new();
+        for v in [3.25, -1.0, 42.0, 0.5] {
+            s.record(v);
+        }
+        let mut h = Histogram::new(0, 100, 10);
+        for v in [1, 5, 55, 250] {
+            h.record(v);
+        }
+        let mut w = SnapshotWriter::new();
+        s.save_state(&mut w);
+        h.save_state(&mut w);
+        let bytes = w.finish();
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        let mut s2 = RunningStats::new();
+        s2.load_state(&mut r).unwrap();
+        let mut h2 = Histogram::new(0, 100, 10);
+        h2.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(s2, s);
+        assert_eq!(h2, h);
+
+        // A differently-shaped target refuses the payload.
+        let mut w = SnapshotWriter::new();
+        h.save_state(&mut w);
+        let bytes = w.finish();
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        let mut wrong = Histogram::new(0, 100, 20);
+        assert!(matches!(
+            wrong.load_state(&mut r),
+            Err(SnapshotError::Malformed(_))
+        ));
     }
 }

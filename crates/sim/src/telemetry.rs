@@ -19,6 +19,7 @@
 use std::collections::VecDeque;
 
 use crate::json::Json;
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// Link-layer sequence numbers are modulo 64 (mirrors the flow-control
 /// layer's `SEQ_MOD`; the dependency points the other way, so the
@@ -192,6 +193,35 @@ impl MetricsRegistry {
     }
 }
 
+impl Snapshot for MetricsRegistry {
+    /// Saves the published values — components and metric names are
+    /// structural (re-registered by `enable_telemetry` on restore).
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.u64(self.epochs);
+        w.len(self.metrics.len());
+        for m in &self.metrics {
+            w.u64(m.value);
+            w.u64(m.peak);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.epochs = r.u64()?;
+        let n = r.len()?;
+        if n != self.metrics.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "metric count mismatch: snapshot {n}, registry {}",
+                self.metrics.len()
+            )));
+        }
+        for m in &mut self.metrics {
+            m.value = r.u64()?;
+            m.peak = r.u64()?;
+        }
+        Ok(())
+    }
+}
+
 /// One sampling window of the congestion timeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimelineWindow {
@@ -307,6 +337,44 @@ impl CongestionTimeline {
     /// Rendered JSON document.
     pub fn render(&self) -> String {
         self.to_json().render()
+    }
+}
+
+impl Snapshot for CongestionTimeline {
+    /// Saves the recorded windows — interval and labels are structural.
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.len(self.windows.len());
+        for win in &self.windows {
+            w.u64(win.start);
+            for &v in &win.link_flits {
+                w.u32(v);
+            }
+            for &v in &win.queue_depth {
+                w.u32(v);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.len()?;
+        self.windows.clear();
+        for _ in 0..n {
+            let start = r.u64()?;
+            let mut link_flits = Vec::with_capacity(self.link_labels.len());
+            for _ in 0..self.link_labels.len() {
+                link_flits.push(r.u32()?);
+            }
+            let mut queue_depth = Vec::with_capacity(self.switch_labels.len());
+            for _ in 0..self.switch_labels.len() {
+                queue_depth.push(r.u32()?);
+            }
+            self.windows.push(TimelineWindow {
+                start,
+                link_flits,
+                queue_depth,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -491,6 +559,107 @@ impl FlightRecorder {
     /// Live ring contents, oldest first.
     pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
         self.ring.iter()
+    }
+}
+
+impl TraceEventKind {
+    fn snapshot_tag(self) -> u8 {
+        match self {
+            TraceEventKind::Transmit => 0,
+            TraceEventKind::Retransmit => 1,
+            TraceEventKind::Arrival => 2,
+            TraceEventKind::CorruptArrival => 3,
+            TraceEventKind::Deliver => 4,
+        }
+    }
+
+    fn from_snapshot_tag(tag: u8) -> Result<Self, SnapshotError> {
+        Ok(match tag {
+            0 => TraceEventKind::Transmit,
+            1 => TraceEventKind::Retransmit,
+            2 => TraceEventKind::Arrival,
+            3 => TraceEventKind::CorruptArrival,
+            4 => TraceEventKind::Deliver,
+            other => {
+                return Err(SnapshotError::Malformed(format!(
+                    "bad trace event kind tag {other}"
+                )))
+            }
+        })
+    }
+}
+
+fn save_trace_event(w: &mut SnapshotWriter, ev: &TraceEvent) {
+    w.u64(ev.cycle);
+    w.u32(ev.channel);
+    w.u64(ev.packet_id);
+    w.u64(ev.injected_at);
+    w.u8(ev.seq);
+    w.u8(ev.kind.snapshot_tag());
+}
+
+fn load_trace_event(r: &mut SnapshotReader<'_>) -> Result<TraceEvent, SnapshotError> {
+    Ok(TraceEvent {
+        cycle: r.u64()?,
+        channel: r.u32()?,
+        packet_id: r.u64()?,
+        injected_at: r.u64()?,
+        seq: r.u8()?,
+        kind: TraceEventKind::from_snapshot_tag(r.u8()?)?,
+    })
+}
+
+impl Snapshot for FlightRecorder {
+    /// Saves the event ring, the frozen dump (if any), and the
+    /// per-channel replay classifier — depth and channel count are
+    /// structural.
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.len(self.ring.len());
+        for ev in &self.ring {
+            save_trace_event(w, ev);
+        }
+        w.bool(self.frozen.is_some());
+        if let Some(dump) = &self.frozen {
+            w.u64(dump.cycle);
+            w.len(dump.events.len());
+            for ev in &dump.events {
+                save_trace_event(w, ev);
+            }
+        }
+        w.len(self.expected_new_seq.len());
+        for &s in &self.expected_new_seq {
+            w.u8(s);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.len()?;
+        self.ring.clear();
+        for _ in 0..n {
+            self.ring.push_back(load_trace_event(r)?);
+        }
+        self.frozen = if r.bool()? {
+            let cycle = r.u64()?;
+            let count = r.len()?;
+            let mut events = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                events.push(load_trace_event(r)?);
+            }
+            Some(FrozenDump { cycle, events })
+        } else {
+            None
+        };
+        let channels = r.len()?;
+        if channels != self.expected_new_seq.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "flight recorder channel count mismatch: snapshot {channels}, target {}",
+                self.expected_new_seq.len()
+            )));
+        }
+        for s in &mut self.expected_new_seq {
+            *s = r.u8()?;
+        }
+        Ok(())
     }
 }
 
@@ -757,6 +926,63 @@ mod tests {
         // The begin for packet 1 uses its injection cycle.
         let begin = text.find("\"ph\": \"b\"").unwrap();
         assert!(text[begin..].contains("\"ts\": 3"));
+    }
+
+    #[test]
+    fn telemetry_state_snapshot_roundtrip() {
+        let mut reg = MetricsRegistry::new();
+        let sw = reg.add_component("sw0");
+        let flits = reg.counter(sw, "flits_forwarded");
+        let depth = reg.gauge(sw, "queue_depth");
+        reg.set(flits, 12);
+        reg.sample(depth, 5);
+        reg.sample(depth, 1);
+        reg.note_epoch();
+
+        let mut tl = CongestionTimeline::new(8, vec!["l0".into()], vec!["s0".into()]);
+        tl.push(0, vec![4], vec![2]);
+        tl.push(8, vec![7], vec![0]);
+
+        let mut fr = FlightRecorder::new(4, 2);
+        let _ = fr.classify_transmit(0, 0);
+        fr.record(ev(3, 1, TraceEventKind::Transmit));
+        fr.record(ev(5, 1, TraceEventKind::CorruptArrival));
+        fr.freeze(6);
+        fr.record(ev(7, 2, TraceEventKind::Arrival));
+
+        let mut w = SnapshotWriter::new();
+        reg.save_state(&mut w);
+        tl.save_state(&mut w);
+        fr.save_state(&mut w);
+        let bytes = w.finish();
+
+        // Restore into freshly built (structurally identical) targets.
+        let mut reg2 = MetricsRegistry::new();
+        let sw2 = reg2.add_component("sw0");
+        let flits2 = reg2.counter(sw2, "flits_forwarded");
+        let depth2 = reg2.gauge(sw2, "queue_depth");
+        let mut tl2 = CongestionTimeline::new(8, vec!["l0".into()], vec!["s0".into()]);
+        let mut fr2 = FlightRecorder::new(4, 2);
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        reg2.load_state(&mut r).unwrap();
+        tl2.load_state(&mut r).unwrap();
+        fr2.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(reg2.to_json().render(), reg.to_json().render());
+        assert_eq!(reg2.value(flits2), 12);
+        assert_eq!(reg2.peak(depth2), 5);
+        assert_eq!(tl2.render(), tl.render());
+        assert_eq!(fr2.snapshot(), fr.snapshot());
+        assert_eq!(fr2.frozen().unwrap().cycle, 6);
+        assert_eq!(
+            fr2.events().copied().collect::<Vec<_>>(),
+            fr.events().copied().collect::<Vec<_>>()
+        );
+        // The replay classifier resumed mid-stream: channel 0 expects
+        // seq 1 next in both instances.
+        assert_eq!(fr2.classify_transmit(0, 0), TraceEventKind::Retransmit);
+        assert_eq!(fr2.classify_transmit(0, 1), TraceEventKind::Transmit);
     }
 
     #[test]

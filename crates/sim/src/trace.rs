@@ -12,6 +12,7 @@
 use std::io;
 use std::io::Write as _;
 
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::time::Cycle;
 
 /// Handle to a signal declared in a [`VcdWriter`].
@@ -272,6 +273,45 @@ impl VcdWriter {
     }
 }
 
+impl Snapshot for VcdWriter {
+    /// Captures the incremental-emission state — per-signal last values,
+    /// the current timestamp, and whether the header left — but **not**
+    /// the already-emitted document: the caller keeps the pre-checkpoint
+    /// text. Restoring into a freshly declared writer makes it continue
+    /// the change stream byte-exactly, so `pre-checkpoint text +
+    /// post-restore text` equals the uninterrupted document.
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.len(self.signals.len());
+        for sig in &self.signals {
+            w.bool(sig.last.is_some());
+            w.u64(sig.last.unwrap_or(0));
+        }
+        w.bool(self.current_time.is_some());
+        w.u64(self.current_time.unwrap_or(0));
+        w.bool(self.header_written);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.len()?;
+        if n != self.signals.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "trace has {} signals, snapshot {n}",
+                self.signals.len()
+            )));
+        }
+        for sig in &mut self.signals {
+            let present = r.bool()?;
+            let value = r.u64()?;
+            sig.last = present.then_some(value);
+        }
+        let present = r.bool()?;
+        let value = r.u64()?;
+        self.current_time = present.then_some(value);
+        self.header_written = r.bool()?;
+        Ok(())
+    }
+}
+
 impl std::fmt::Debug for VcdWriter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("VcdWriter")
@@ -445,5 +485,55 @@ mod tests {
     #[should_panic(expected = "width")]
     fn zero_width_rejected() {
         VcdWriter::new("m").declare("bad", 0);
+    }
+
+    #[test]
+    fn snapshot_split_matches_uninterrupted_document() {
+        let mut whole = VcdWriter::new("m");
+        drive(&mut whole);
+
+        // Same sequence split at t=20: snapshot the first writer's
+        // emission state, import into a freshly declared one, continue.
+        let mut first = VcdWriter::new("m");
+        let a = first.declare("a", 1);
+        let b = first.declare("b", 4);
+        for t in 0..20u64 {
+            first.change(Cycle::new(t), a, t & 1);
+            first.change(Cycle::new(t), b, t % 11);
+        }
+        let mut w = SnapshotWriter::new();
+        first.save_state(&mut w);
+        let bytes = w.finish();
+
+        let mut second = VcdWriter::new("m");
+        let a2 = second.declare("a", 1);
+        let b2 = second.declare("b", 4);
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        second.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        for t in 20..50u64 {
+            second.change(Cycle::new(t), a2, t & 1);
+            second.change(Cycle::new(t), b2, t % 11);
+        }
+        let stitched = format!("{}{}", first.finish(), second.finish());
+        assert_eq!(stitched, whole.finish());
+    }
+
+    #[test]
+    fn snapshot_signal_count_mismatch_rejected() {
+        let mut vcd = VcdWriter::new("m");
+        vcd.declare("a", 1);
+        let mut w = SnapshotWriter::new();
+        vcd.save_state(&mut w);
+        let bytes = w.finish();
+
+        let mut other = VcdWriter::new("m");
+        other.declare("a", 1);
+        other.declare("b", 1);
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        assert!(matches!(
+            other.load_state(&mut r),
+            Err(SnapshotError::Malformed(_))
+        ));
     }
 }

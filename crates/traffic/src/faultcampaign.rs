@@ -25,7 +25,13 @@
 use xpipes::monitor::MonitorConfig;
 use xpipes::noc::{Noc, TelemetryConfig};
 use xpipes::XpipesError;
-use xpipes_sim::{CampaignReport, FaultKind, FaultPlan, FaultRun, RunSummary};
+use xpipes_sim::attribution::{AttributionSummary, PHASE_COUNT};
+use xpipes_sim::snapshot::fnv64;
+use xpipes_sim::telemetry::TelemetrySummary;
+use xpipes_sim::{
+    CampaignReport, FaultKind, FaultPlan, FaultRun, RunSummary, Snapshot, SnapshotError,
+    SnapshotReader, SnapshotWriter,
+};
 use xpipes_topology::builders::mesh;
 use xpipes_topology::spec::NocSpec;
 
@@ -90,16 +96,9 @@ fn run_seed(master: u64, index: u64) -> u64 {
     master.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
-/// Executes one monitored run; returns measurements, rendered
-/// violations (monitor findings plus end-to-end delivery checks), and —
-/// for failing runs with a flight recorder — the rendered event dump.
-fn run_one(
-    spec: &NocSpec,
-    plan: &FaultPlan,
-    cfg: &CampaignConfig,
-    seed: u64,
-) -> Result<(RunSummary, Vec<String>, Vec<String>), XpipesError> {
-    let mut noc = Noc::with_faults(spec, seed, plan)?;
+/// Attaches the campaign observer set (protocol monitor, telemetry with
+/// flight recorder, latency attribution) to a freshly built network.
+fn instrument(noc: &mut Noc, cfg: &CampaignConfig) {
     noc.enable_monitor(MonitorConfig {
         liveness_bound: cfg.liveness_bound,
         max_violations: 64,
@@ -109,8 +108,32 @@ fn run_one(
         ..TelemetryConfig::default()
     });
     noc.enable_attribution();
+}
+
+/// Executes one monitored run (optionally branched off a shared warm
+/// checkpoint); returns measurements, rendered violations (monitor
+/// findings plus end-to-end delivery checks), and — for failing runs
+/// with a flight recorder — the rendered event dump.
+fn run_one(
+    spec: &NocSpec,
+    plan: &FaultPlan,
+    cfg: &CampaignConfig,
+    seed: u64,
+    warm: Option<&WarmStart>,
+) -> Result<(RunSummary, Vec<String>, Vec<String>), XpipesError> {
+    let mut noc = Noc::with_faults(spec, seed, plan)?;
+    instrument(&mut noc, cfg);
     let inj_cfg = InjectorConfig::new(cfg.injection_rate, Pattern::Uniform);
     let mut inj = Injector::new(spec, inj_cfg, seed ^ 0x5EED)?;
+    if let Some(warm) = warm {
+        // Branch off the shared warm state: all mutable state (including
+        // every RNG stream position) comes from the checkpoint; the
+        // branch keeps only its structural identity — its fault plan.
+        noc.restore(warm.noc_bytes())?;
+        let mut r = SnapshotReader::open(warm.injector_bytes()).map_err(XpipesError::from)?;
+        inj.load_state(&mut r).map_err(XpipesError::from)?;
+        r.finish().map_err(XpipesError::from)?;
+    }
     for cycle in 0..cfg.cycles {
         inj.step(&mut noc);
         if cycle % 512 == 511 {
@@ -168,6 +191,102 @@ fn run_one(
         noc.flight_dump_rendered()
     };
     Ok((summary, violations, flight_dump))
+}
+
+/// Shared warm state for branching campaigns: the fully instrumented
+/// network and its injector, checkpointed after a fault-free warm-up.
+///
+/// Warm-start campaigns restore this one checkpoint into every grid
+/// point, so all branches start from identical queue occupancy, RNG
+/// stream positions, and observer state, and differ **only** in their
+/// fault plan. That is a deliberately different measurement protocol
+/// from the cold campaign (where every point derives decorrelated
+/// streams from its grid index): it isolates the fault model's effect
+/// from stream variation, at the cost of correlated randomness across
+/// points. Cold and warm reports are therefore not comparable
+/// point-for-point — compare within one protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStart {
+    /// Warm-up cycles already executed when the checkpoint was taken.
+    pub cycles: u64,
+    noc: Vec<u8>,
+    injector: Vec<u8>,
+}
+
+impl WarmStart {
+    /// The network checkpoint ([`Noc::checkpoint`] container).
+    pub fn noc_bytes(&self) -> &[u8] {
+        &self.noc
+    }
+
+    /// The injector snapshot container.
+    pub fn injector_bytes(&self) -> &[u8] {
+        &self.injector
+    }
+
+    /// Serializes the warm state into one snapshot container (for
+    /// journaling to disk next to resumable campaign points).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.u64(self.cycles);
+        w.bytes(&self.noc);
+        w.bytes(&self.injector);
+        w.finish()
+    }
+
+    /// Decodes a container produced by [`WarmStart::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when the container is damaged or truncated.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes)?;
+        let cycles = r.u64()?;
+        let noc = r.bytes()?;
+        let injector = r.bytes()?;
+        r.finish()?;
+        Ok(WarmStart {
+            cycles,
+            noc,
+            injector,
+        })
+    }
+}
+
+/// Warms a fault-free, fully instrumented network for `warm_cycles` of
+/// injection and checkpoints it for branching.
+///
+/// The warm-up runs with the complete campaign observer set (protocol
+/// monitor, telemetry, attribution) because the monitor's conservation
+/// and ordering checks assume observation from cycle 0 — it cannot
+/// attach mid-stream. Each branch then restores the observers' state
+/// along with the network.
+///
+/// # Errors
+///
+/// Propagates network-assembly failures from the specification.
+pub fn warm_checkpoint(
+    spec: &NocSpec,
+    cfg: &CampaignConfig,
+    warm_cycles: u64,
+) -> Result<WarmStart, XpipesError> {
+    let mut noc = Noc::with_faults(spec, cfg.seed, &FaultPlan::none())?;
+    instrument(&mut noc, cfg);
+    let inj_cfg = InjectorConfig::new(cfg.injection_rate, Pattern::Uniform);
+    let mut inj = Injector::new(spec, inj_cfg, cfg.seed ^ 0x5EED)?;
+    for cycle in 0..warm_cycles {
+        inj.step(&mut noc);
+        if cycle % 512 == 511 {
+            inj.drain_responses(&mut noc);
+        }
+    }
+    let mut w = SnapshotWriter::new();
+    inj.save_state(&mut w);
+    Ok(WarmStart {
+        cycles: warm_cycles,
+        noc: noc.checkpoint(),
+        injector: w.finish(),
+    })
 }
 
 /// One grid point awaiting execution: the baseline (index 0) or a
@@ -245,6 +364,38 @@ fn merge_results(
     }
 }
 
+/// Shared body of all four campaign runners: `workers = None` executes
+/// grid points serially, `Some(n)` fans out across `n` threads (0 means
+/// host parallelism). Results merge in submission order either way, so
+/// serial and parallel reports are byte-identical.
+fn run_campaign_impl(
+    spec: &NocSpec,
+    faults: &[FaultKind],
+    cfg: &CampaignConfig,
+    warm: Option<&WarmStart>,
+    workers: Option<usize>,
+) -> Result<CampaignReport, XpipesError> {
+    let jobs = campaign_jobs(faults, cfg);
+    let point = |job: &CampaignJob| {
+        let plan = job.kind.map_or_else(FaultPlan::none, |k| k.plan(job.rate));
+        run_one(spec, &plan, cfg, run_seed(cfg.seed, job.index), warm)
+    };
+    let results = match workers {
+        None => jobs.iter().map(point).collect::<Result<Vec<_>, _>>()?,
+        Some(workers) => {
+            let workers = if workers == 0 {
+                xpipes_sim::parallel::worker_count(jobs.len())
+            } else {
+                workers
+            };
+            xpipes_sim::parallel::parallel_map_ordered(&jobs, workers, |_, job| point(job))
+                .into_iter()
+                .collect::<Result<Vec<_>, _>>()?
+        }
+    };
+    Ok(merge_results(spec, faults, cfg, &jobs, results))
+}
+
 /// Runs the full campaign serially: a fault-free baseline, then every
 /// fault model in `faults` at every rate in the config's grid.
 ///
@@ -256,15 +407,7 @@ pub fn run_campaign(
     faults: &[FaultKind],
     cfg: &CampaignConfig,
 ) -> Result<CampaignReport, XpipesError> {
-    let jobs = campaign_jobs(faults, cfg);
-    let results = jobs
-        .iter()
-        .map(|job| {
-            let plan = job.kind.map_or_else(FaultPlan::none, |k| k.plan(job.rate));
-            run_one(spec, &plan, cfg, run_seed(cfg.seed, job.index))
-        })
-        .collect::<Result<Vec<_>, _>>()?;
-    Ok(merge_results(spec, faults, cfg, &jobs, results))
+    run_campaign_impl(spec, faults, cfg, None, None)
 }
 
 /// Runs the full campaign with grid points fanned out across `workers`
@@ -284,19 +427,450 @@ pub fn run_campaign_parallel(
     cfg: &CampaignConfig,
     workers: usize,
 ) -> Result<CampaignReport, XpipesError> {
-    let jobs = campaign_jobs(faults, cfg);
-    let workers = if workers == 0 {
-        xpipes_sim::parallel::worker_count(jobs.len())
+    run_campaign_impl(spec, faults, cfg, None, Some(workers))
+}
+
+/// Runs the campaign with every grid point branched off the shared
+/// [`WarmStart`] instead of a cold network. See [`WarmStart`] for how
+/// this measurement protocol differs from the cold campaign.
+///
+/// # Errors
+///
+/// Propagates assembly failures and checkpoint-decode failures (e.g. a
+/// warm state captured on a differently shaped network).
+pub fn run_campaign_warm(
+    spec: &NocSpec,
+    faults: &[FaultKind],
+    cfg: &CampaignConfig,
+    warm: &WarmStart,
+) -> Result<CampaignReport, XpipesError> {
+    run_campaign_impl(spec, faults, cfg, Some(warm), None)
+}
+
+/// Parallel variant of [`run_campaign_warm`]; byte-identical to it for
+/// the same inputs, regardless of worker count. Pass `workers = 0` to
+/// use the host's available parallelism.
+///
+/// # Errors
+///
+/// Propagates assembly failures and checkpoint-decode failures.
+pub fn run_campaign_warm_parallel(
+    spec: &NocSpec,
+    faults: &[FaultKind],
+    cfg: &CampaignConfig,
+    warm: &WarmStart,
+    workers: usize,
+) -> Result<CampaignReport, XpipesError> {
+    run_campaign_impl(spec, faults, cfg, Some(warm), Some(workers))
+}
+
+/// Number of grid points a campaign over `faults` executes: the
+/// fault-free baseline plus one point per fault model per error rate.
+pub fn grid_size(faults: &[FaultKind], cfg: &CampaignConfig) -> u64 {
+    1 + (faults.len() * cfg.error_rates.len()) as u64
+}
+
+/// Fingerprint of everything that determines a campaign's results:
+/// spec name, seed, cycle/drain budgets, injection rate, error-rate
+/// grid, monitor/recorder parameters, and the fault list. A resumable
+/// campaign journals this next to its completed points so a resume with
+/// different parameters is rejected instead of silently mixing results.
+pub fn config_fingerprint(spec: &NocSpec, faults: &[FaultKind], cfg: &CampaignConfig) -> u64 {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "spec={};seed={};cycles={};drain={};rate={:016x};liveness={};depth={};rates=",
+        spec.name,
+        cfg.seed,
+        cfg.cycles,
+        cfg.drain_cycles,
+        cfg.injection_rate.to_bits(),
+        cfg.liveness_bound,
+        cfg.flight_recorder_depth,
+    );
+    for r in &cfg.error_rates {
+        let _ = write!(s, "{:016x},", r.to_bits());
+    }
+    s.push_str(";faults=");
+    for k in faults {
+        s.push_str(k.name());
+        s.push(',');
+    }
+    fnv64(s.as_bytes())
+}
+
+fn save_strings(w: &mut SnapshotWriter, items: &[String]) {
+    w.len(items.len());
+    for s in items {
+        w.str(s);
+    }
+}
+
+fn load_strings(r: &mut SnapshotReader<'_>) -> Result<Vec<String>, SnapshotError> {
+    let n = r.len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.str()?);
+    }
+    Ok(out)
+}
+
+fn save_summary(w: &mut SnapshotWriter, s: &RunSummary) {
+    w.u64(s.cycles);
+    w.u64(s.packets_sent);
+    w.u64(s.packets_delivered);
+    w.u64(s.retransmissions);
+    w.u64(s.flits_corrupted);
+    w.u64(s.acks_dropped);
+    w.u64(s.acks_corrupted);
+    w.u64(s.ack_timeouts);
+    w.u64(s.stall_cycles);
+    w.f64(s.avg_latency);
+    w.bool(s.drained);
+    w.bool(s.telemetry.is_some());
+    if let Some(t) = &s.telemetry {
+        w.u64(t.total_retransmissions);
+        w.len(t.link_retransmissions.len());
+        for (label, n) in &t.link_retransmissions {
+            w.str(label);
+            w.u64(*n);
+        }
+        w.u64(t.peak_queue_depth);
+        w.str(&t.peak_queue_switch);
+    }
+    w.bool(s.attribution.is_some());
+    if let Some(a) = &s.attribution {
+        w.u64(a.packets);
+        w.u64(a.incomplete);
+        w.u64(a.in_flight);
+        w.len(a.phase_totals.len());
+        for t in &a.phase_totals {
+            w.u64(*t);
+        }
+        w.bool(a.worst_flow.is_some());
+        if let Some((src, dst, latency)) = &a.worst_flow {
+            w.str(src);
+            w.str(dst);
+            w.u64(*latency);
+        }
+    }
+}
+
+fn load_summary(r: &mut SnapshotReader<'_>) -> Result<RunSummary, SnapshotError> {
+    let cycles = r.u64()?;
+    let packets_sent = r.u64()?;
+    let packets_delivered = r.u64()?;
+    let retransmissions = r.u64()?;
+    let flits_corrupted = r.u64()?;
+    let acks_dropped = r.u64()?;
+    let acks_corrupted = r.u64()?;
+    let ack_timeouts = r.u64()?;
+    let stall_cycles = r.u64()?;
+    let avg_latency = r.f64()?;
+    let drained = r.bool()?;
+    let telemetry = if r.bool()? {
+        let total_retransmissions = r.u64()?;
+        let n = r.len()?;
+        let mut link_retransmissions = Vec::with_capacity(n);
+        for _ in 0..n {
+            let label = r.str()?;
+            let count = r.u64()?;
+            link_retransmissions.push((label, count));
+        }
+        Some(TelemetrySummary {
+            total_retransmissions,
+            link_retransmissions,
+            peak_queue_depth: r.u64()?,
+            peak_queue_switch: r.str()?,
+        })
     } else {
-        workers
+        None
     };
-    let results = xpipes_sim::parallel::parallel_map_ordered(&jobs, workers, |_, job| {
-        let plan = job.kind.map_or_else(FaultPlan::none, |k| k.plan(job.rate));
-        run_one(spec, &plan, cfg, run_seed(cfg.seed, job.index))
+    let attribution = if r.bool()? {
+        let packets = r.u64()?;
+        let incomplete = r.u64()?;
+        let in_flight = r.u64()?;
+        let n = r.len()?;
+        if n != PHASE_COUNT {
+            return Err(SnapshotError::Malformed(format!(
+                "attribution has {PHASE_COUNT} phases, snapshot {n}"
+            )));
+        }
+        let mut phase_totals = [0u64; PHASE_COUNT];
+        for t in phase_totals.iter_mut() {
+            *t = r.u64()?;
+        }
+        let worst_flow = if r.bool()? {
+            Some((r.str()?, r.str()?, r.u64()?))
+        } else {
+            None
+        };
+        Some(AttributionSummary {
+            packets,
+            incomplete,
+            in_flight,
+            phase_totals,
+            worst_flow,
+        })
+    } else {
+        None
+    };
+    Ok(RunSummary {
+        cycles,
+        packets_sent,
+        packets_delivered,
+        retransmissions,
+        flits_corrupted,
+        acks_dropped,
+        acks_corrupted,
+        ack_timeouts,
+        stall_cycles,
+        avg_latency,
+        drained,
+        telemetry,
+        attribution,
     })
-    .into_iter()
-    .collect::<Result<Vec<_>, _>>()?;
-    Ok(merge_results(spec, faults, cfg, &jobs, results))
+}
+
+/// One executed grid point, self-contained for journaling: a
+/// crash-resumable campaign writes each point to disk as it completes
+/// (via [`CompletedPoint::to_bytes`]) and a resume decodes the journal,
+/// runs only the missing indices, and [`assemble_report`]s the union.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedPoint {
+    /// Grid index (0 = baseline; see [`grid_size`]).
+    pub index: u64,
+    /// Measurements of the run.
+    pub summary: RunSummary,
+    /// Rendered monitor findings plus end-to-end checks.
+    pub violations: Vec<String>,
+    /// Flight-recorder dump (failing runs only).
+    pub flight_dump: Vec<String>,
+}
+
+impl CompletedPoint {
+    /// Serializes the point into one snapshot container.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.u64(self.index);
+        save_summary(&mut w, &self.summary);
+        save_strings(&mut w, &self.violations);
+        save_strings(&mut w, &self.flight_dump);
+        w.finish()
+    }
+
+    /// Decodes a container produced by [`CompletedPoint::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when the container is damaged or truncated.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes)?;
+        let index = r.u64()?;
+        let summary = load_summary(&mut r)?;
+        let violations = load_strings(&mut r)?;
+        let flight_dump = load_strings(&mut r)?;
+        r.finish()?;
+        Ok(CompletedPoint {
+            index,
+            summary,
+            violations,
+            flight_dump,
+        })
+    }
+}
+
+/// Executes the single grid point `index` of the campaign over `faults`
+/// — the unit of work a crash-resumable campaign journals. The result
+/// is identical to what [`run_campaign`] (or the warm variants, when
+/// `warm` is given) computes for that index.
+///
+/// # Panics
+///
+/// When `index` is outside `0..grid_size(faults, cfg)`.
+///
+/// # Errors
+///
+/// Propagates assembly and checkpoint-decode failures.
+pub fn run_grid_point(
+    spec: &NocSpec,
+    faults: &[FaultKind],
+    cfg: &CampaignConfig,
+    index: u64,
+    warm: Option<&WarmStart>,
+) -> Result<CompletedPoint, XpipesError> {
+    let jobs = campaign_jobs(faults, cfg);
+    let job = jobs
+        .iter()
+        .find(|j| j.index == index)
+        .unwrap_or_else(|| panic!("grid index {index} out of range ({} points)", jobs.len()));
+    let plan = job.kind.map_or_else(FaultPlan::none, |k| k.plan(job.rate));
+    let (summary, violations, flight_dump) =
+        run_one(spec, &plan, cfg, run_seed(cfg.seed, job.index), warm)?;
+    Ok(CompletedPoint {
+        index,
+        summary,
+        violations,
+        flight_dump,
+    })
+}
+
+/// Folds a complete set of journaled grid points (any order) into the
+/// campaign report. Byte-identical to the report the one-shot runners
+/// produce from the same configuration.
+///
+/// # Panics
+///
+/// When a grid index is missing, duplicated, or out of range — a
+/// resumable campaign must finish every point before assembling.
+pub fn assemble_report(
+    spec: &NocSpec,
+    faults: &[FaultKind],
+    cfg: &CampaignConfig,
+    mut points: Vec<CompletedPoint>,
+) -> CampaignReport {
+    let jobs = campaign_jobs(faults, cfg);
+    assert_eq!(
+        points.len(),
+        jobs.len(),
+        "campaign has {} grid points, got {}",
+        jobs.len(),
+        points.len()
+    );
+    points.sort_by_key(|p| p.index);
+    for (i, p) in points.iter().enumerate() {
+        assert_eq!(p.index, i as u64, "grid point {i} missing or duplicated");
+    }
+    let results = points
+        .into_iter()
+        .map(|p| (p.summary, p.violations, p.flight_dump))
+        .collect();
+    merge_results(spec, faults, cfg, &jobs, results)
+}
+
+/// What [`time_travel`] recovered about the first monitor violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeTravelReport {
+    /// Injection cycle at which the primary run first tripped.
+    pub violation_cycle: u64,
+    /// Cycle of the periodic checkpoint the replay rewound to.
+    pub checkpoint_cycle: u64,
+    /// Rendered monitor findings from the instrumented replay.
+    pub violations: Vec<String>,
+    /// Flight-recorder window frozen at the violation.
+    pub flight_dump: Vec<String>,
+    /// Attribution over the replayed window (packets first observed
+    /// before the checkpoint are ignored by design).
+    pub attribution: Option<AttributionSummary>,
+}
+
+/// Time-travel debugging: runs `plan` with only the (cheap) protocol
+/// monitor attached, taking a checkpoint every `checkpoint_every`
+/// cycles; on the first violation, rewinds to the last checkpoint and
+/// replays the window with the flight recorder and latency attribution
+/// enabled, returning the instrumented evidence. Returns `Ok(None)`
+/// when no violation occurs within the injection phase.
+///
+/// The replay is bit-exact: observers are passive, so the restored
+/// network re-executes the identical cycle sequence and trips the same
+/// violation.
+///
+/// # Panics
+///
+/// When `checkpoint_every` is 0.
+///
+/// # Errors
+///
+/// Propagates assembly and checkpoint-decode failures.
+pub fn time_travel(
+    spec: &NocSpec,
+    plan: &FaultPlan,
+    cfg: &CampaignConfig,
+    seed: u64,
+    checkpoint_every: u64,
+) -> Result<Option<TimeTravelReport>, XpipesError> {
+    assert!(checkpoint_every > 0, "checkpoint_every must be nonzero");
+    let monitor_cfg = MonitorConfig {
+        liveness_bound: cfg.liveness_bound,
+        max_violations: 64,
+    };
+    let inj_cfg = InjectorConfig::new(cfg.injection_rate, Pattern::Uniform);
+
+    // Primary run: monitor only, so the hunt for the violation stays
+    // cheap; checkpoints are taken *before* stepping the cycle.
+    let mut noc = Noc::with_faults(spec, seed, plan)?;
+    noc.enable_monitor(monitor_cfg);
+    let mut inj = Injector::new(spec, inj_cfg, seed ^ 0x5EED)?;
+    let mut checkpoint_cycle = 0u64;
+    let mut noc_ckpt = noc.checkpoint();
+    let mut inj_ckpt = {
+        let mut w = SnapshotWriter::new();
+        inj.save_state(&mut w);
+        w.finish()
+    };
+    let mut violation_cycle = None;
+    for cycle in 0..cfg.cycles {
+        if cycle > 0 && cycle.is_multiple_of(checkpoint_every) {
+            checkpoint_cycle = cycle;
+            noc_ckpt = noc.checkpoint();
+            let mut w = SnapshotWriter::new();
+            inj.save_state(&mut w);
+            inj_ckpt = w.finish();
+        }
+        inj.step(&mut noc);
+        if cycle % 512 == 511 {
+            inj.drain_responses(&mut noc);
+        }
+        if !noc.monitor_violations().is_empty() {
+            violation_cycle = Some(cycle);
+            break;
+        }
+    }
+    let Some(violation_cycle) = violation_cycle else {
+        return Ok(None);
+    };
+
+    // Replay from the last checkpoint with the full observer set. The
+    // checkpoint has no telemetry/attribution sections, so those
+    // observers start fresh at the rewind point; the monitor restores
+    // its mid-stream state so its checks stay consistent.
+    let mut replay = Noc::with_faults(spec, seed, plan)?;
+    replay.enable_monitor(monitor_cfg);
+    replay.enable_telemetry(TelemetryConfig {
+        flight_recorder_depth: cfg.flight_recorder_depth.max(256),
+        ..TelemetryConfig::default()
+    });
+    replay.enable_attribution();
+    replay.restore(&noc_ckpt)?;
+    let mut replay_inj = Injector::new(spec, inj_cfg, seed ^ 0x5EED)?;
+    let mut r = SnapshotReader::open(&inj_ckpt).map_err(XpipesError::from)?;
+    replay_inj.load_state(&mut r).map_err(XpipesError::from)?;
+    r.finish().map_err(XpipesError::from)?;
+    // Absolute cycle numbering keeps the periodic response drain on the
+    // same cadence as the primary run.
+    for cycle in checkpoint_cycle..cfg.cycles {
+        replay_inj.step(&mut replay);
+        if cycle % 512 == 511 {
+            replay_inj.drain_responses(&mut replay);
+        }
+        if !replay.monitor_violations().is_empty() {
+            break;
+        }
+    }
+    replay.flush_telemetry();
+    let violations = replay
+        .monitor_violations()
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
+    Ok(Some(TimeTravelReport {
+        violation_cycle,
+        checkpoint_cycle,
+        violations,
+        flight_dump: replay.flight_dump_rendered(),
+        attribution: replay.attribution_summary(),
+    }))
 }
 
 #[cfg(test)]
@@ -307,7 +881,7 @@ mod tests {
     fn baseline_is_clean_and_drains() {
         let cfg = CampaignConfig::new(11, 800);
         let (summary, violations, flight_dump) =
-            run_one(&campaign_spec(), &FaultPlan::none(), &cfg, 11).unwrap();
+            run_one(&campaign_spec(), &FaultPlan::none(), &cfg, 11, None).unwrap();
         assert!(violations.is_empty(), "{violations:?}");
         assert!(flight_dump.is_empty(), "clean runs carry no dump");
         assert!(summary.drained);
@@ -348,5 +922,109 @@ mod tests {
             let par = run_campaign_parallel(&campaign_spec(), &faults, &cfg, workers).unwrap();
             assert_eq!(par.to_json(), serial.to_json(), "workers={workers}");
         }
+    }
+
+    #[test]
+    fn warm_start_bytes_round_trip() {
+        let cfg = CampaignConfig::new(5, 200);
+        let warm = warm_checkpoint(&campaign_spec(), &cfg, 128).unwrap();
+        assert_eq!(warm.cycles, 128);
+        let decoded = WarmStart::from_bytes(&warm.to_bytes()).unwrap();
+        assert_eq!(decoded, warm);
+        assert!(WarmStart::from_bytes(b"junk").is_err());
+    }
+
+    #[test]
+    fn warm_campaign_is_deterministic_and_parallel_identical() {
+        let mut cfg = CampaignConfig::new(31, 400);
+        cfg.error_rates = vec![0.02];
+        let faults = [FaultKind::FlitCorruption, FaultKind::AckLoss];
+        let warm = warm_checkpoint(&campaign_spec(), &cfg, 300).unwrap();
+        let a = run_campaign_warm(&campaign_spec(), &faults, &cfg, &warm).unwrap();
+        let b = run_campaign_warm(&campaign_spec(), &faults, &cfg, &warm).unwrap();
+        assert_eq!(a.to_json(), b.to_json(), "warm campaign is deterministic");
+        for workers in [2, 4] {
+            let par = run_campaign_warm_parallel(&campaign_spec(), &faults, &cfg, &warm, workers)
+                .unwrap();
+            assert_eq!(par.to_json(), a.to_json(), "workers={workers}");
+        }
+        // The warmed-up traffic is part of every branch's measurements.
+        let cold = run_campaign(&campaign_spec(), &faults, &cfg).unwrap();
+        assert!(a.baseline.packets_sent > cold.baseline.packets_sent);
+    }
+
+    #[test]
+    fn grid_points_assemble_into_the_serial_report() {
+        let mut cfg = CampaignConfig::new(17, 400);
+        cfg.error_rates = vec![0.03];
+        let faults = [FaultKind::FlitCorruption];
+        let serial = run_campaign(&campaign_spec(), &faults, &cfg).unwrap();
+        let n = grid_size(&faults, &cfg);
+        assert_eq!(n, 2);
+        // Journaled out of order and round-tripped through bytes, as a
+        // crash-resumed campaign would see them.
+        let mut points = Vec::new();
+        for index in (0..n).rev() {
+            let p = run_grid_point(&campaign_spec(), &faults, &cfg, index, None).unwrap();
+            points.push(CompletedPoint::from_bytes(&p.to_bytes()).unwrap());
+        }
+        let assembled = assemble_report(&campaign_spec(), &faults, &cfg, points);
+        assert_eq!(assembled.to_json(), serial.to_json());
+    }
+
+    #[test]
+    #[should_panic(expected = "grid point")]
+    fn assemble_rejects_missing_points() {
+        let mut cfg = CampaignConfig::new(17, 200);
+        cfg.error_rates = vec![0.03];
+        let faults = [FaultKind::FlitCorruption];
+        let p = run_grid_point(&campaign_spec(), &faults, &cfg, 1, None).unwrap();
+        let dup = p.clone();
+        assemble_report(&campaign_spec(), &faults, &cfg, vec![p, dup]);
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_parameters() {
+        let spec = campaign_spec();
+        let cfg = CampaignConfig::new(7, 500);
+        let faults = [FaultKind::FlitCorruption];
+        let base = config_fingerprint(&spec, &faults, &cfg);
+        assert_eq!(base, config_fingerprint(&spec, &faults, &cfg));
+        let mut other = cfg.clone();
+        other.seed = 8;
+        assert_ne!(base, config_fingerprint(&spec, &faults, &other));
+        let mut other = cfg.clone();
+        other.error_rates = vec![0.01];
+        assert_ne!(base, config_fingerprint(&spec, &faults, &other));
+        assert_ne!(base, config_fingerprint(&spec, &[FaultKind::AckLoss], &cfg));
+    }
+
+    #[test]
+    fn time_travel_replays_the_violation_window() {
+        let mut cfg = CampaignConfig::new(3, 4000);
+        cfg.liveness_bound = 20;
+        let plan = FaultPlan {
+            stall_rate: 0.02,
+            stall_len: 40,
+            ..FaultPlan::none()
+        };
+        let report = time_travel(&campaign_spec(), &plan, &cfg, 3, 256)
+            .unwrap()
+            .expect("aggressive stalls trip the liveness monitor");
+        assert!(report.checkpoint_cycle <= report.violation_cycle);
+        assert!(!report.violations.is_empty());
+        assert!(!report.flight_dump.is_empty(), "recorder captured events");
+        // The rewound replay trips the identical violation.
+        let again = time_travel(&campaign_spec(), &plan, &cfg, 3, 256)
+            .unwrap()
+            .unwrap();
+        assert_eq!(again, report);
+    }
+
+    #[test]
+    fn time_travel_is_quiet_on_clean_runs() {
+        let cfg = CampaignConfig::new(9, 600);
+        let report = time_travel(&campaign_spec(), &FaultPlan::none(), &cfg, 9, 128).unwrap();
+        assert!(report.is_none());
     }
 }

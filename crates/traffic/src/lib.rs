@@ -46,7 +46,14 @@ pub mod pattern;
 pub mod runner;
 pub mod trace;
 
-pub use faultcampaign::{campaign_spec, run_campaign, CampaignConfig};
+pub use faultcampaign::{
+    assemble_report, campaign_spec, config_fingerprint, grid_size, run_campaign,
+    run_campaign_parallel, run_campaign_warm, run_campaign_warm_parallel, run_grid_point,
+    time_travel, warm_checkpoint, CampaignConfig, CompletedPoint, TimeTravelReport, WarmStart,
+};
 pub use generator::{Injector, InjectorConfig};
 pub use pattern::Pattern;
-pub use runner::{measure, sweep, sweep_parallel, LoadPoint};
+pub use runner::{
+    measure, measure_from_checkpoint, sweep, sweep_from_checkpoint, sweep_from_checkpoint_parallel,
+    sweep_parallel, sweep_warm_up, LoadPoint, SweepWarmState,
+};

@@ -52,6 +52,39 @@ impl ChaCha8Rng {
         self.stream
     }
 
+    /// Exports the generator position as `(key, stream, counter, idx)`:
+    /// the 256-bit key, the selected keystream, the next block counter,
+    /// and the next unread word of the current block (`BUF_WORDS` when
+    /// the buffer is spent). Together with [`from_state`](Self::from_state)
+    /// this gives exact save/restore of the keystream position — the
+    /// buffer contents themselves are a pure function of
+    /// `(key, stream, counter)` and are regenerated on import.
+    pub fn state(&self) -> ([u32; 8], u64, u64, usize) {
+        (self.key, self.stream, self.counter, self.idx)
+    }
+
+    /// Rebuilds a generator at an exact keystream position previously
+    /// exported by [`state`](Self::state). The restored generator
+    /// produces the same future draws as the original would have.
+    pub fn from_state(key: [u32; 8], stream: u64, counter: u64, idx: usize) -> Self {
+        let idx = idx.min(BUF_WORDS);
+        let mut rng = ChaCha8Rng {
+            key,
+            counter,
+            stream,
+            buf: [0; BUF_WORDS],
+            idx: BUF_WORDS,
+        };
+        if idx < BUF_WORDS {
+            // The exported position is mid-block: regenerate that block
+            // (refill advances the counter past it again) and reposition.
+            rng.counter = counter.wrapping_sub(1);
+            rng.refill();
+            rng.idx = idx;
+        }
+        rng
+    }
+
     fn refill(&mut self) {
         let mut state = [0u32; 16];
         state[..4].copy_from_slice(&CONSTANTS);
@@ -156,6 +189,31 @@ mod tests {
         let mut fresh = ChaCha8Rng::seed_from_u64(9);
         fresh.set_stream(5);
         assert_eq!(rng.next_u64(), fresh.next_u64());
+    }
+
+    #[test]
+    fn state_roundtrip_mid_and_on_block_boundary() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        rng.set_stream(3);
+        // Mid-block position.
+        for _ in 0..5 {
+            let _ = rng.next_u32();
+        }
+        let (key, stream, counter, idx) = rng.state();
+        let mut restored = ChaCha8Rng::from_state(key, stream, counter, idx);
+        for _ in 0..100 {
+            assert_eq!(rng.next_u64(), restored.next_u64());
+        }
+        // Exact block boundary (buffer spent).
+        let mut fresh = ChaCha8Rng::seed_from_u64(11);
+        while fresh.state().3 != BUF_WORDS {
+            let _ = fresh.next_u32();
+        }
+        let (key, stream, counter, idx) = fresh.state();
+        let mut restored = ChaCha8Rng::from_state(key, stream, counter, idx);
+        for _ in 0..100 {
+            assert_eq!(fresh.next_u64(), restored.next_u64());
+        }
     }
 
     #[test]

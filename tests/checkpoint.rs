@@ -1,0 +1,284 @@
+//! Restore-equivalence conformance suite for the checkpoint subsystem.
+//!
+//! The contract under test: a run checkpointed at cycle C and restored
+//! into a freshly assembled network resumes **bit-exactly** — the final
+//! report JSON (telemetry timeline, attribution report, Perfetto
+//! export), the work fingerprint (cycles / flits routed / packets
+//! delivered), and the VCD waveform hash are byte-identical to the
+//! uninterrupted run. That holds with fault injection, the protocol
+//! monitor, telemetry, and attribution all active across the
+//! checkpoint boundary. On top of it: a campaign killed part-way and
+//! resumed from journaled grid points assembles a report byte-identical
+//! to an uninterrupted run at any worker count, and a damaged snapshot
+//! container is rejected before it can poison a network.
+
+use xpipes::monitor::MonitorConfig;
+use xpipes::noc::{Noc, TelemetryConfig};
+use xpipes_sim::{FaultPlan, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
+use xpipes_traffic::faultcampaign::{
+    assemble_report, campaign_spec, run_campaign, run_campaign_parallel, run_grid_point,
+    CampaignConfig, CompletedPoint,
+};
+use xpipes_traffic::generator::{Injector, InjectorConfig};
+use xpipes_traffic::pattern::Pattern;
+
+/// FNV-1a 64-bit — tiny, dependency-free, and stable across platforms.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const SEED: u64 = 7;
+const TOTAL_CYCLES: u64 = 4000;
+
+fn reference_plan() -> FaultPlan {
+    FaultPlan {
+        flit_corruption_rate: 0.02,
+        ack_loss_rate: 0.01,
+        ..FaultPlan::none()
+    }
+}
+
+/// A fully instrumented network: fault injection plus every observer the
+/// simulator offers — the hardest state a checkpoint has to carry.
+fn instrumented_noc() -> Noc {
+    let mut noc = Noc::with_faults(&campaign_spec(), SEED, &reference_plan()).expect("assembles");
+    noc.enable_trace();
+    noc.enable_monitor(MonitorConfig {
+        liveness_bound: 100_000,
+        max_violations: 64,
+    });
+    noc.enable_telemetry(TelemetryConfig::full());
+    noc.enable_attribution();
+    noc
+}
+
+fn fresh_injector() -> Injector {
+    Injector::new(
+        &campaign_spec(),
+        InjectorConfig::new(0.05, Pattern::Uniform),
+        SEED ^ 0x5EED,
+    )
+    .expect("injector")
+}
+
+/// Advances the run over absolute cycles `[from, to)` with the campaign
+/// drain cadence, so the schedule is identical whether or not the span
+/// was split by a checkpoint.
+fn run_span(noc: &mut Noc, inj: &mut Injector, from: u64, to: u64) {
+    for cycle in from..to {
+        inj.step(noc);
+        if cycle % 512 == 511 {
+            inj.drain_responses(noc);
+        }
+    }
+}
+
+/// Everything the acceptance criteria compare byte-for-byte.
+#[derive(Debug, PartialEq)]
+struct Artifacts {
+    /// Work fingerprint: the simulated-work fields of [`Noc::stats`].
+    cycles: u64,
+    packets_delivered: u64,
+    flits_routed: u64,
+    retransmissions: u64,
+    /// Full waveform and its golden hash.
+    vcd: String,
+    vcd_fnv64: u64,
+    /// Report JSON from each observer.
+    timeline_json: String,
+    attribution_json: String,
+    perfetto_json: String,
+    telemetry_summary: String,
+}
+
+fn finish(mut noc: Noc, inj: &mut Injector) -> Artifacts {
+    noc.run_until_idle(TOTAL_CYCLES / 2);
+    inj.drain_responses(&mut noc);
+    noc.flush_telemetry();
+    let stats = noc.stats();
+    let vcd = noc.vcd().expect("tracing enabled");
+    Artifacts {
+        cycles: stats.cycles,
+        packets_delivered: stats.packets_delivered,
+        flits_routed: stats.flits_routed,
+        retransmissions: stats.retransmissions,
+        vcd_fnv64: fnv64(vcd.as_bytes()),
+        vcd,
+        timeline_json: noc.timeline_json().expect("timeline enabled"),
+        attribution_json: noc
+            .attribution_report()
+            .expect("attribution enabled")
+            .render(),
+        perfetto_json: noc.perfetto_json().expect("telemetry enabled"),
+        telemetry_summary: format!("{:?}", noc.telemetry_summary()),
+    }
+}
+
+/// The uninterrupted reference: inject for `TOTAL_CYCLES`, drain, report.
+fn uninterrupted() -> Artifacts {
+    let mut noc = instrumented_noc();
+    let mut inj = fresh_injector();
+    run_span(&mut noc, &mut inj, 0, TOTAL_CYCLES);
+    finish(noc, &mut inj)
+}
+
+/// The same run split at cycle `c`: checkpoint network + injector into
+/// bytes, rebuild both from scratch, restore, and run the remainder.
+///
+/// The VCD writer checkpoints its *emission state*, not the emitted
+/// text — the first process keeps the document it already wrote and the
+/// restored process continues the change stream, so the two halves are
+/// concatenated here before comparing against the uninterrupted dump.
+fn split_at(c: u64) -> Artifacts {
+    let mut noc = instrumented_noc();
+    let mut inj = fresh_injector();
+    run_span(&mut noc, &mut inj, 0, c);
+    let noc_bytes = noc.checkpoint();
+    let mut w = SnapshotWriter::new();
+    inj.save_state(&mut w);
+    let inj_bytes = w.finish();
+    let vcd_head = noc.vcd().expect("tracing enabled");
+    drop((noc, inj));
+
+    let mut noc = instrumented_noc();
+    let mut inj = fresh_injector();
+    noc.restore(&noc_bytes).expect("restores");
+    let mut r = SnapshotReader::open(&inj_bytes).expect("opens");
+    inj.load_state(&mut r).expect("loads");
+    r.finish().expect("no trailing bytes");
+    run_span(&mut noc, &mut inj, c, TOTAL_CYCLES);
+    let mut artifacts = finish(noc, &mut inj);
+    artifacts.vcd = format!("{vcd_head}{}", artifacts.vcd);
+    artifacts.vcd_fnv64 = fnv64(artifacts.vcd.as_bytes());
+    artifacts
+}
+
+/// The headline acceptance criterion: for several checkpoint cycles C —
+/// early, mid-run, and late — the restored continuation is
+/// byte-identical to the uninterrupted run in every artifact.
+#[test]
+fn restore_is_byte_identical_to_uninterrupted_run() {
+    let reference = uninterrupted();
+    assert!(
+        reference.packets_delivered > 0,
+        "reference run must do real work"
+    );
+    for c in [512, 1500, 3327] {
+        let resumed = split_at(c);
+        assert_eq!(
+            resumed, reference,
+            "run split at cycle {c} diverged from the uninterrupted run"
+        );
+    }
+}
+
+/// The checkpoint bytes themselves are deterministic: capturing the same
+/// run state twice yields identical containers, so journal files and
+/// warm-start blobs can be byte-diffed.
+#[test]
+fn checkpoint_bytes_are_deterministic() {
+    let capture = || {
+        let mut noc = instrumented_noc();
+        let mut inj = fresh_injector();
+        run_span(&mut noc, &mut inj, 0, 1000);
+        noc.checkpoint()
+    };
+    assert_eq!(capture(), capture());
+}
+
+/// Damaged containers are rejected up front: a flipped payload byte
+/// fails the integrity hash, a truncated container fails cleanly, and
+/// a checkpoint from a differently shaped network is refused — none of
+/// them may silently poison a restored run.
+#[test]
+fn damaged_snapshots_are_rejected() {
+    let mut noc = instrumented_noc();
+    let mut inj = fresh_injector();
+    run_span(&mut noc, &mut inj, 0, 600);
+    let good = noc.checkpoint();
+
+    let mut flipped = good.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x40;
+    match noc.restore(&flipped) {
+        Err(SnapshotError::IntegrityMismatch { .. }) => {}
+        other => panic!("flipped byte must fail the integrity hash, got {other:?}"),
+    }
+
+    match noc.restore(&good[..good.len() / 3]) {
+        Err(SnapshotError::Truncated) => {}
+        other => panic!("truncated container must be rejected, got {other:?}"),
+    }
+
+    let mut b = xpipes_topology::builders::mesh(2, 2).expect("builds");
+    let cpu = b.attach_initiator("cpu", (0, 0)).expect("attaches");
+    let _ = cpu;
+    let mem = b.attach_target("mem", (1, 1)).expect("attaches");
+    let mut spec = xpipes_topology::spec::NocSpec::new("tiny", b.into_topology());
+    spec.map_address(mem, 0x0, 0x10000).expect("maps");
+    let mut tiny = Noc::new(&spec).expect("assembles");
+    match tiny.restore(&good) {
+        Err(SnapshotError::Malformed(_)) => {}
+        other => panic!("wrong-shaped network must be refused, got {other:?}"),
+    }
+
+    // The original network still restores the intact container.
+    noc.restore(&good).expect("intact container still restores");
+}
+
+/// A campaign killed part-way and resumed from its journal produces a
+/// report byte-identical to an uninterrupted run — regardless of how
+/// many workers either half used. Grid points are journaled through the
+/// binary codec (`CompletedPoint::to_bytes`), exactly as the
+/// `faultcampaign --resume` journal stores them.
+#[test]
+fn killed_and_resumed_campaign_report_is_byte_identical_across_jobs() {
+    let spec = campaign_spec();
+    let faults = [
+        xpipes_sim::FaultKind::FlitCorruption,
+        xpipes_sim::FaultKind::AckLoss,
+    ];
+    let mut cfg = CampaignConfig::new(11, 3000);
+    cfg.error_rates = vec![0.01, 0.03];
+
+    let uninterrupted = run_campaign(&spec, &faults, &cfg).expect("runs").to_json();
+
+    // "Crash" after the first three grid points: journal them to bytes,
+    // decode them back (as a resume would), then finish the rest in a
+    // different order and assemble.
+    let grid = 1 + faults.len() as u64 * 2;
+    let first: Vec<Vec<u8>> = (0..3)
+        .map(|i| {
+            run_grid_point(&spec, &faults, &cfg, i, None)
+                .expect("runs")
+                .to_bytes()
+        })
+        .collect();
+    let mut points: Vec<CompletedPoint> = first
+        .iter()
+        .map(|b| CompletedPoint::from_bytes(b).expect("round-trips"))
+        .collect();
+    for i in (3..grid).rev() {
+        points.push(run_grid_point(&spec, &faults, &cfg, i, None).expect("runs"));
+    }
+    let resumed = assemble_report(&spec, &faults, &cfg, points).to_json();
+    assert_eq!(
+        resumed, uninterrupted,
+        "journal-resumed report must be byte-identical"
+    );
+
+    for jobs in [1, 2, 4] {
+        let parallel = run_campaign_parallel(&spec, &faults, &cfg, jobs)
+            .expect("runs")
+            .to_json();
+        assert_eq!(
+            parallel, uninterrupted,
+            "report must be byte-identical at {jobs} workers"
+        );
+    }
+}
