@@ -67,7 +67,8 @@ struct Args {
     attribution: bool,
     attribution_out: String,
     diff: Option<String>,
-    workload: Option<Workload>,
+    /// `--workload` is repeatable; empty means the default 4x4 pair.
+    workload: Vec<Workload>,
     checkpoint: Option<String>,
     checkpoint_at: Option<u64>,
     restore: Option<String>,
@@ -88,7 +89,7 @@ fn parse_args() -> Result<Args, String> {
         attribution: false,
         attribution_out: "BENCH_attribution.json".to_string(),
         diff: None,
-        workload: None,
+        workload: Vec::new(),
         checkpoint: None,
         checkpoint_at: None,
         restore: None,
@@ -126,7 +127,7 @@ fn parse_args() -> Result<Args, String> {
             "--diff" => args.diff = Some(value("--diff")?),
             "--workload" => {
                 let name = value("--workload")?;
-                args.workload = Some(
+                args.workload.push(
                     Workload::from_name(&name)
                         .ok_or_else(|| format!("unknown workload '{name}'"))?,
                 );
@@ -203,7 +204,11 @@ fn main() -> ExitCode {
 
     // Checkpoint mode: save the simulation state and exit; no timing.
     if let (Some(path), Some(at)) = (&args.checkpoint, args.checkpoint_at) {
-        let workload = args.workload.unwrap_or(Workload::UniformRandom);
+        let workload = args
+            .workload
+            .first()
+            .copied()
+            .unwrap_or(Workload::UniformRandom);
         let bytes = match checkpoint_workload(workload, at) {
             Ok(b) => b,
             Err(e) => {
@@ -255,10 +260,15 @@ fn main() -> ExitCode {
         || args.timeline.is_some()
         || args.flight_recorder
         || args.perfetto.is_some();
-    let workloads: Vec<Workload> = match (&restored, args.workload) {
-        (Some(_), _) => Vec::new(),
-        (None, Some(w)) => vec![w],
-        (None, None) => vec![Workload::UniformRandom, Workload::Hotspot],
+    let workloads: Vec<Workload> = if restored.is_some() {
+        Vec::new()
+    } else if !args.workload.is_empty() {
+        args.workload.clone()
+    } else {
+        // The default pair stays the 4x4 meshes: the overhead gates and
+        // the long-standing baseline are defined on them. The
+        // large-fabric workloads run via explicit `--workload` flags.
+        vec![Workload::UniformRandom, Workload::Hotspot]
     };
     let mut results: Vec<WorkloadResult> = restored.into_iter().collect();
     let mut attribution_reports: Vec<(&'static str, Json)> = Vec::new();

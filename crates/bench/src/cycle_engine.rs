@@ -29,6 +29,12 @@ pub const BENCH_SEED: u64 = 42;
 /// engine spends most cycles in the common lightly-loaded regime.
 pub const BENCH_RATE: f64 = 0.05;
 
+/// Injection rate of the large-fabric workloads. Sixteen initiators at
+/// this rate keep the aggregate offered load below the 4x4 reference
+/// (0.16 vs 0.2 packets/cycle), so the big meshes also stay in the
+/// lightly-loaded regime the engine is benchmarked in.
+pub const BENCH_RATE_LARGE: f64 = 0.01;
+
 /// Default measured cycles per workload.
 pub const DEFAULT_CYCLES: u64 = 200_000;
 
@@ -60,14 +66,72 @@ pub fn reference_spec() -> NocSpec {
     spec
 }
 
-/// The two reference workloads.
+/// A `dim`x`dim` mesh partitioned into sixteen square tiles, each with
+/// one central initiator and four tile-local targets placed a Manhattan
+/// distance of 6 from it — the longest route (6 switch traversals plus
+/// the ejection hop) exactly fills the 7-hop source-route budget, so
+/// the same tiling scales to any mesh size. Targets are attached
+/// tile-major, 4 per tile, which is the indexing
+/// [`Pattern::TileUniform`] assumes.
+pub fn tiled_spec(dim: usize, name: &str) -> NocSpec {
+    assert!(
+        dim.is_multiple_of(4) && dim / 4 >= 8,
+        "tiled meshes need a multiple-of-4 dimension with tiles of at least 8x8"
+    );
+    let tile = dim / 4;
+    let mid = tile / 2;
+    let (lo, hi) = (mid - 3, mid + 3);
+    let mut b = mesh(dim, dim).expect("mesh is valid");
+    let mut targets = Vec::new();
+    for ty in 0..4 {
+        for tx in 0..4 {
+            let t = ty * 4 + tx;
+            let (ox, oy) = (tx * tile, ty * tile);
+            b.attach_initiator(format!("cpu{t}"), (ox + mid, oy + mid))
+                .expect("free port");
+            for (k, (dx, dy)) in [(lo, lo), (hi, lo), (lo, hi), (hi, hi)]
+                .into_iter()
+                .enumerate()
+            {
+                targets.push(
+                    b.attach_target(format!("m{}", t * 4 + k), (ox + dx, oy + dy))
+                        .expect("free port"),
+                );
+            }
+        }
+    }
+    let mut spec = NocSpec::new(name, b.into_topology());
+    for (i, t) in targets.into_iter().enumerate() {
+        spec.map_address(t, (i as u64) << 20, 1 << 20)
+            .expect("window fits");
+    }
+    spec
+}
+
+/// The reference workloads: the original 4x4 pair plus the large-fabric
+/// tiled meshes that exercise the event-driven kernel at scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Workload {
-    /// Uniform-random destinations.
+    /// Uniform-random destinations on the 4x4 reference mesh.
     UniformRandom,
-    /// 50% of traffic aimed at target 0, rest uniform.
+    /// 50% of traffic aimed at target 0 on the 4x4 reference mesh.
     Hotspot,
+    /// Tile-local uniform traffic on a 32x32 mesh (16 tiles of 8x8).
+    UniformRandom32,
+    /// Tile-local uniform traffic on a 64x64 mesh (16 tiles of 16x16).
+    UniformRandom64,
+    /// Tile-local hotspot traffic on the 64x64 mesh.
+    Hotspot64,
 }
+
+/// Every workload, in the canonical report order.
+pub const ALL_WORKLOADS: [Workload; 5] = [
+    Workload::UniformRandom,
+    Workload::Hotspot,
+    Workload::UniformRandom32,
+    Workload::UniformRandom64,
+    Workload::Hotspot64,
+];
 
 impl Workload {
     /// Stable machine-readable name (JSON key).
@@ -75,14 +139,32 @@ impl Workload {
         match self {
             Workload::UniformRandom => "uniform_random_4x4",
             Workload::Hotspot => "hotspot_4x4",
+            Workload::UniformRandom32 => "uniform_random_32x32",
+            Workload::UniformRandom64 => "uniform_random_64x64",
+            Workload::Hotspot64 => "hotspot_64x64",
         }
     }
 
     /// Parses a [`name`](Self::name) back into a workload.
     pub fn from_name(name: &str) -> Option<Workload> {
-        [Workload::UniformRandom, Workload::Hotspot]
-            .into_iter()
-            .find(|w| w.name() == name)
+        ALL_WORKLOADS.into_iter().find(|w| w.name() == name)
+    }
+
+    /// The network this workload runs on.
+    pub fn spec(self) -> NocSpec {
+        match self {
+            Workload::UniformRandom | Workload::Hotspot => reference_spec(),
+            Workload::UniformRandom32 => tiled_spec(32, "cycle-engine-32x32"),
+            Workload::UniformRandom64 | Workload::Hotspot64 => tiled_spec(64, "cycle-engine-64x64"),
+        }
+    }
+
+    /// Injection rate (packets per cycle per initiator).
+    pub fn rate(self) -> f64 {
+        match self {
+            Workload::UniformRandom | Workload::Hotspot => BENCH_RATE,
+            _ => BENCH_RATE_LARGE,
+        }
     }
 
     fn pattern(self) -> Pattern {
@@ -90,6 +172,13 @@ impl Workload {
             Workload::UniformRandom => Pattern::Uniform,
             Workload::Hotspot => Pattern::Hotspot {
                 target: 0,
+                fraction: 0.5,
+            },
+            Workload::UniformRandom32 | Workload::UniformRandom64 => Pattern::TileUniform {
+                targets_per_tile: 4,
+            },
+            Workload::Hotspot64 => Pattern::TileHotspot {
+                targets_per_tile: 4,
                 fraction: 0.5,
             },
         }
@@ -125,7 +214,7 @@ fn run_timed(
     telemetry: Option<TelemetryConfig>,
     attribution: bool,
 ) -> Result<(Noc, WorkloadResult), XpipesError> {
-    let spec = reference_spec();
+    let spec = workload.spec();
     let mut noc = Noc::with_seed(&spec, BENCH_SEED)?;
     if let Some(cfg) = telemetry {
         noc.enable_telemetry(cfg);
@@ -135,7 +224,7 @@ fn run_timed(
     }
     let mut inj = Injector::new(
         &spec,
-        InjectorConfig::new(BENCH_RATE, workload.pattern()),
+        InjectorConfig::new(workload.rate(), workload.pattern()),
         BENCH_SEED ^ 0x5EED,
     )?;
     let start = Instant::now();
@@ -246,11 +335,11 @@ pub fn run_workload_attributed(
 ///
 /// Propagates network-assembly failures.
 pub fn checkpoint_workload(workload: Workload, checkpoint_at: u64) -> Result<Vec<u8>, XpipesError> {
-    let spec = reference_spec();
+    let spec = workload.spec();
     let mut noc = Noc::with_seed(&spec, BENCH_SEED)?;
     let mut inj = Injector::new(
         &spec,
-        InjectorConfig::new(BENCH_RATE, workload.pattern()),
+        InjectorConfig::new(workload.rate(), workload.pattern()),
         BENCH_SEED ^ 0x5EED,
     )?;
     inj.run(&mut noc, checkpoint_at);
@@ -291,12 +380,12 @@ pub fn resume_workload(bytes: &[u8], cycles: u64) -> Result<WorkloadResult, Xpip
             format!("checkpoint at cycle {checkpoint_at} is past the {cycles}-cycle run"),
         )));
     }
-    let spec = reference_spec();
+    let spec = workload.spec();
     let mut noc = Noc::with_seed(&spec, BENCH_SEED)?;
     noc.restore(&noc_bytes)?;
     let mut inj = Injector::new(
         &spec,
-        InjectorConfig::new(BENCH_RATE, workload.pattern()),
+        InjectorConfig::new(workload.rate(), workload.pattern()),
         BENCH_SEED ^ 0x5EED,
     )?;
     let mut ir = SnapshotReader::open(&inj_bytes).map_err(XpipesError::from)?;
@@ -569,6 +658,32 @@ mod tests {
         assert!(o.baseline_cycles_per_sec > 0.0);
         assert!(o.telemetry_cycles_per_sec > 0.0);
         assert!((0.0..=1.0).contains(&o.overhead), "{o:?}");
+    }
+
+    #[test]
+    fn large_fabric_workload_runs_and_delivers() {
+        let r = run_workload(Workload::UniformRandom32, 3000).unwrap();
+        assert_eq!(r.name, "uniform_random_32x32");
+        assert!(r.packets_delivered > 0, "{r:?}");
+        assert!(r.flits_routed > 0);
+        assert!(r.cycles >= 3000);
+    }
+
+    #[test]
+    fn large_fabric_names_round_trip() {
+        for w in ALL_WORKLOADS {
+            assert_eq!(Workload::from_name(w.name()), Some(w));
+        }
+        assert_eq!(Workload::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn tiled_specs_fit_the_hop_budget() {
+        // Assembly + a submit through the longest tile route would fail
+        // if the 7-hop source-route budget were exceeded; a short run
+        // with deliveries proves the routes validate.
+        let r = run_workload(Workload::Hotspot64, 1500).unwrap();
+        assert!(r.packets_delivered > 0, "{r:?}");
     }
 
     #[test]

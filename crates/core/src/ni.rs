@@ -226,6 +226,13 @@ impl InitiatorNi {
         self.port.tx_pending()
     }
 
+    /// True when submitted requests are waiting for a free transaction
+    /// tag. While this holds, [`Self::tick`] may make progress; while it
+    /// does not, `tick` is a no-op (event-kernel scheduling probe).
+    pub fn has_backlog(&self) -> bool {
+        !self.backlog.is_empty()
+    }
+
     /// Cycles a packetized flit waited in the output queue because the
     /// link-layer retransmission window was full.
     pub fn packetization_stalls(&self) -> u64 {
@@ -448,6 +455,14 @@ impl TargetNi {
     /// True when nothing is queued or in flight.
     pub fn is_idle(&self) -> bool {
         self.port.is_idle() && self.scheduled.is_empty()
+    }
+
+    /// The cycle at which [`Self::tick`] can next make progress: the
+    /// ready cycle of the response at the head of the latency queue.
+    /// The queue drains strictly head-of-line, so no later entry can
+    /// fire before the head does (event-kernel scheduling probe).
+    pub fn next_response_at(&self) -> Option<Cycle> {
+        self.scheduled.front().map(|s| s.ready_at)
     }
 
     /// True when the network port's transmit side has pending work

@@ -29,7 +29,8 @@ use xpipes_sim::telemetry::{
 };
 use xpipes_sim::trace::{SignalId, VcdWriter};
 use xpipes_sim::{
-    Cycle, FaultPlan, RunningStats, SimRng, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+    ActiveSet, Cycle, EventWheel, FaultPlan, RunningStats, SimRng, Snapshot, SnapshotError,
+    SnapshotReader, SnapshotWriter,
 };
 use xpipes_topology::spec::NocSpec;
 use xpipes_topology::{NiId, NiKind, SwitchId};
@@ -54,17 +55,50 @@ enum Endpoint {
     Target(usize),
 }
 
-/// A directed channel: a pipelined link plus its endpoint bindings and the
-/// per-cycle I/O latches.
-#[derive(Debug, Clone)]
-struct Channel {
-    link: Link,
-    producer: Endpoint,
-    consumer: Endpoint,
-    fwd_latch: Option<LinkFlit>,
-    rev_latch: Option<AckNack>,
-    fwd_arrival: Option<LinkFlit>,
-    rev_arrival: Option<AckNack>,
+/// Flat structure-of-arrays channel state: the per-cycle hot data of
+/// every directed channel lives in parallel contiguous arrays indexed
+/// by dense channel id, instead of one struct per channel.
+///
+/// The step phases touch exactly one or two of these arrays each, so
+/// an event-driven step streams through only the fields it needs for
+/// only the channels that are scheduled — see `docs/kernel.md` for the
+/// layout and indexing contract. Checkpoints serialize this state
+/// per-channel in the original field order (link, fwd latch, rev
+/// latch, fwd arrival, rev arrival), so the container format is
+/// byte-identical to the per-channel-object layout it replaced.
+#[derive(Debug, Clone, Default)]
+struct Channels {
+    /// Pipelined link of each channel.
+    link: Vec<Link>,
+    /// Producing endpoint of each channel (drives the forward pipe).
+    producer: Vec<Endpoint>,
+    /// Consuming endpoint of each channel (sinks the forward pipe).
+    consumer: Vec<Endpoint>,
+    /// Forward flit driven into the link at phase 2, shifted at the
+    /// next cycle's phase 1.
+    fwd_latch: Vec<Option<LinkFlit>>,
+    /// ACK/nACK reply driven at phase 4, shifted at the next phase 1.
+    rev_latch: Vec<Option<AckNack>>,
+    /// Forward flit that left the pipe this cycle (phase 1 → phase 4).
+    fwd_arrival: Vec<Option<LinkFlit>>,
+    /// ACK/nACK that left the pipe this cycle (phase 1 → phase 2).
+    rev_arrival: Vec<Option<AckNack>>,
+}
+
+impl Channels {
+    fn len(&self) -> usize {
+        self.link.len()
+    }
+
+    fn push(&mut self, link: Link, producer: Endpoint, consumer: Endpoint) {
+        self.link.push(link);
+        self.producer.push(producer);
+        self.consumer.push(consumer);
+        self.fwd_latch.push(None);
+        self.rev_latch.push(None);
+        self.fwd_arrival.push(None);
+        self.rev_arrival.push(None);
+    }
 }
 
 /// Aggregate network statistics.
@@ -212,6 +246,223 @@ struct TelemetryState {
     flight: Option<FlightRecorder>,
 }
 
+/// The event-driven step scheduler: which components have (or may
+/// have) work next cycle, plus the cached idle-blocker census.
+///
+/// The membership rules are conservative supersets of the legacy
+/// activity-refresh predicate — processing an extra provably-inert
+/// component is a no-op (it moves no flit and draws no RNG), but a
+/// component with work is never missed. The blocker bits cache each
+/// component's contribution to [`Noc::is_idle`], re-evaluated only for
+/// components a step actually touched, so `is_idle` stays O(1) without
+/// the O(network) per-cycle rescan the old fast path paid.
+struct Scheduler {
+    /// The sets/wheel/blockers are coherent with current state.
+    /// Invalidated by out-of-band mutation (slow-path steps, restore,
+    /// stall/sabotage hooks); rebuilt by a full scan on the next
+    /// fast-path step.
+    valid: bool,
+    /// Channels to process in the next step's phases 1/2/4.
+    chan_sched: ActiveSet,
+    /// Switches whose input side holds a flit: crossbar next step.
+    sw_sched: ActiveSet,
+    /// Initiator NIs with a non-empty submit backlog (their tick can
+    /// make progress; all other initiator ticks are provable no-ops).
+    ini_pending: ActiveSet,
+    /// Wake-ups for target NI latency queues: one live event per
+    /// target with a non-empty queue, at its head's ready cycle.
+    /// Head-of-line draining makes the head's ready cycle exact.
+    tgt_wake: EventWheel<usize>,
+    /// Count of idle blockers; zero ⇔ the network is idle.
+    idle_blockers: usize,
+    /// Cached per-component blocker bits (the component's current
+    /// contribution to `idle_blockers`).
+    blocking_chan: Vec<bool>,
+    blocking_sw: Vec<bool>,
+    blocking_ini: Vec<bool>,
+    blocking_tgt: Vec<bool>,
+    /// Scratch: swapped with `chan_sched`/`sw_sched` at step start so
+    /// next-cycle membership accumulates while this cycle's is walked.
+    chan_scratch: ActiveSet,
+    sw_scratch: ActiveSet,
+    /// Switches touched this step (transmit/crossbar/receive), whose
+    /// activity and blocker bit need re-evaluation.
+    sw_cand: ActiveSet,
+    /// NIs touched this step, for blocker re-evaluation.
+    ini_touched: ActiveSet,
+    tgt_touched: ActiveSet,
+    /// Reusable iteration buffers (no per-step allocation).
+    ini_buf: Vec<usize>,
+    sw_buf: Vec<usize>,
+    ni_buf: Vec<usize>,
+    wake_buf: Vec<(u64, usize)>,
+}
+
+impl Scheduler {
+    fn new(channels: usize, switches: usize, initiators: usize, targets: usize) -> Self {
+        Scheduler {
+            valid: false,
+            chan_sched: ActiveSet::new(channels),
+            sw_sched: ActiveSet::new(switches),
+            ini_pending: ActiveSet::new(initiators),
+            tgt_wake: EventWheel::new(),
+            idle_blockers: 0,
+            blocking_chan: vec![false; channels],
+            blocking_sw: vec![false; switches],
+            blocking_ini: vec![false; initiators],
+            blocking_tgt: vec![false; targets],
+            chan_scratch: ActiveSet::new(channels),
+            sw_scratch: ActiveSet::new(switches),
+            sw_cand: ActiveSet::new(switches),
+            ini_touched: ActiveSet::new(initiators),
+            tgt_touched: ActiveSet::new(targets),
+            ini_buf: Vec::new(),
+            sw_buf: Vec::new(),
+            ni_buf: Vec::new(),
+            wake_buf: Vec::new(),
+        }
+    }
+}
+
+/// Updates one cached blocker bit and the blocker count it feeds.
+fn note_blocker(count: &mut usize, slot: &mut bool, blocking: bool) {
+    if *slot != blocking {
+        *slot = blocking;
+        if blocking {
+            *count += 1;
+        } else {
+            *count -= 1;
+        }
+    }
+}
+
+/// Step phase 2 for one channel: the producer consumes the reverse
+/// arrival and drives the forward latch. Shared verbatim between the
+/// reference and event kernels so observer hooks (monitor, attribution,
+/// flight recorder) fire identically on both.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn phase2_transmit(
+    i: usize,
+    chan: &mut Channels,
+    switches: &mut [Switch],
+    initiators: &mut [InitiatorNi],
+    targets: &mut [TargetNi],
+    monitor: Option<&mut ProtocolMonitor>,
+    attr: Option<&mut AttributionEngine>,
+    flight: Option<&mut FlightRecorder>,
+    cycle: u64,
+) {
+    let rev = chan.rev_arrival[i].take();
+    let out = match chan.producer[i] {
+        Endpoint::SwitchPort { switch, port } => switches[switch].transmit(port, rev),
+        Endpoint::Initiator(idx) => initiators[idx].transmit(rev),
+        Endpoint::Target(idx) => targets[idx].transmit(rev),
+    };
+    if let (Some(m), Some(lf)) = (monitor, &out) {
+        m.note_transmit(i, lf.seq, &lf.flit, cycle);
+    }
+    if let (Some(a), Some(lf)) = (attr, &out) {
+        a.note_transmit(
+            i,
+            lf.flit.meta.packet_id,
+            lf.seq,
+            lf.flit.kind.is_head(),
+            lf.flit.kind.is_tail(),
+            lf.flit.meta.injected_at.as_u64(),
+            lf.flit.meta.src_ni as usize,
+            cycle,
+        );
+    }
+    if let (Some(fr), Some(lf)) = (flight, &out) {
+        let kind = fr.classify_transmit(i, lf.seq);
+        fr.record(TraceEvent {
+            cycle,
+            channel: i as u32,
+            packet_id: lf.flit.meta.packet_id,
+            injected_at: lf.flit.meta.injected_at.as_u64(),
+            seq: lf.seq,
+            kind,
+        });
+    }
+    chan.fwd_latch[i] = out;
+}
+
+/// Step phase 4 for one channel: the consumer sinks the forward arrival
+/// and drives the reverse latch. Shared verbatim between the reference
+/// and event kernels.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn phase4_receive(
+    i: usize,
+    chan: &mut Channels,
+    switches: &mut [Switch],
+    initiators: &mut [InitiatorNi],
+    targets: &mut [TargetNi],
+    monitor: Option<&mut ProtocolMonitor>,
+    attr: Option<&mut AttributionEngine>,
+    flight: Option<&mut FlightRecorder>,
+    cycle: u64,
+    now: Cycle,
+) {
+    let fwd = chan.fwd_arrival[i].take();
+    let consumer = chan.consumer[i];
+    if let (Some(fr), Some(lf)) = (flight, &fwd) {
+        // Wire-level classification: a corrupted flit will be nACKed; an
+        // intact tail reaching an NI leaves the network. (A stale
+        // duplicate still logs an arrival — the recorder shows what
+        // crossed the link.)
+        let kind = if lf.corrupted {
+            TraceEventKind::CorruptArrival
+        } else if !matches!(consumer, Endpoint::SwitchPort { .. }) && lf.flit.kind.is_tail() {
+            TraceEventKind::Deliver
+        } else {
+            TraceEventKind::Arrival
+        };
+        fr.record(TraceEvent {
+            cycle,
+            channel: i as u32,
+            packet_id: lf.flit.meta.packet_id,
+            injected_at: lf.flit.meta.injected_at.as_u64(),
+            seq: lf.seq,
+            kind,
+        });
+    }
+    // An accept is visible as a bump of the receiver's counter; the
+    // accepted flit is then the arriving one (`fwd` is `Copy`, so
+    // watching it costs nothing and nothing is cloned).
+    let rx_accepted =
+        |switches: &[Switch], initiators: &[InitiatorNi], targets: &[TargetNi]| match consumer {
+            Endpoint::SwitchPort { switch, port } => switches[switch].link_rx(port).accepted(),
+            Endpoint::Initiator(idx) => initiators[idx].link_rx().accepted(),
+            Endpoint::Target(idx) => targets[idx].link_rx().accepted(),
+        };
+    let watch_accepts = monitor.is_some() || attr.is_some();
+    let accepted_before = if watch_accepts {
+        rx_accepted(switches, initiators, targets)
+    } else {
+        0
+    };
+    let reply = match consumer {
+        Endpoint::SwitchPort { switch, port } => switches[switch].receive(port, fwd),
+        Endpoint::Initiator(idx) => initiators[idx].receive(fwd, now),
+        Endpoint::Target(idx) => targets[idx].receive(fwd, now),
+    };
+    if watch_accepts && rx_accepted(switches, initiators, targets) > accepted_before {
+        if let Some(lf) = fwd {
+            if let Some(m) = monitor {
+                m.note_accept(i, &lf.flit, cycle);
+            }
+            if let Some(a) = attr {
+                if lf.flit.kind.is_tail() {
+                    a.note_accept(i, lf.flit.meta.packet_id, cycle);
+                }
+            }
+        }
+    }
+    chan.rev_latch[i] = reply;
+}
+
 /// An assembled, runnable xpipes network.
 ///
 /// See the crate-level documentation for a complete example.
@@ -219,7 +470,10 @@ pub struct Noc {
     switches: Vec<Switch>,
     initiators: Vec<InitiatorNi>,
     targets: Vec<TargetNi>,
-    channels: Vec<Channel>,
+    chan: Channels,
+    /// Channel produced by each (switch, output port), `usize::MAX` for
+    /// unconnected ports — the crossbar's follow-on-work wake map.
+    sw_out_chan: Vec<Vec<usize>>,
     initiator_index: HashMap<NiId, usize>,
     target_index: HashMap<NiId, usize>,
     now: Cycle,
@@ -243,28 +497,15 @@ pub struct Noc {
     /// gate: skipped channels transmit and accept nothing, so skipping
     /// them loses no attribution event.
     attribution: Option<Box<AttributionEngine>>,
-    /// Per-channel activity flags for the step fast path: `false` means
-    /// every phase of [`step`](Self::step) is provably a no-op for the
-    /// channel this cycle (empty link, empty latches, no producer work).
-    chan_active: Vec<bool>,
-    /// Per-switch flag: crossbar/allocation may act (an input register or
-    /// delay slot holds a flit).
-    sw_active: Vec<bool>,
     /// Channel produced by each initiator NI (dense index), so `submit`
-    /// can update the activity flags incrementally instead of forcing a
-    /// full refresh.
+    /// can update the schedule incrementally instead of forcing a full
+    /// rebuild.
     initiator_chan: Vec<usize>,
     /// Channel produced by each target NI (dense index), for
     /// `raise_interrupt`.
     target_chan: Vec<usize>,
-    /// Number of idle blockers (non-idle components + occupied forward
-    /// latches) at the last activity refresh: [`is_idle`](Self::is_idle)
-    /// is O(1) while the flags are valid.
-    idle_blockers: usize,
-    /// Activity flags coherent with the current state. Invalidated by any
-    /// out-of-band work injection (submit, interrupts) and by slow-path
-    /// steps; re-established at the end of every fast-path step.
-    flags_valid: bool,
+    /// Event-driven step schedule (see [`Scheduler`]).
+    sched: Scheduler,
 }
 
 impl Noc {
@@ -317,20 +558,27 @@ impl Noc {
             link_plan.corruption_burst_len = 1;
         }
 
-        // Switches, sized to the ports their node actually uses.
+        // Switches, sized to the ports their node actually uses. One
+        // pass over the links/NIs computes every switch's radix and the
+        // global pipeline maximum (the old per-switch rescan was
+        // O(switches × links) — ruinous at 64x64).
+        let mut max_ports = vec![0usize; topo.switch_count()];
+        let mut link_pipeline = 1u32;
+        for l in topo.links() {
+            max_ports[l.from.0] = max_ports[l.from.0].max(l.from_port.0 as usize);
+            max_ports[l.to.0] = max_ports[l.to.0].max(l.to_port.0 as usize);
+            link_pipeline = link_pipeline.max(l.pipeline_stages);
+        }
+        for ni in topo.nis() {
+            max_ports[ni.switch.0] = max_ports[ni.switch.0].max(ni.port.0 as usize);
+        }
         let mut switches = Vec::with_capacity(topo.switch_count());
         for s in topo.switches() {
-            let max_port = switch_max_port(topo, s);
+            let max_port = max_ports[s.0];
             let mut cfg = SwitchConfig::new(max_port + 1, max_port + 1, spec.flit_width);
             cfg.output_queue_depth = spec.queue_depth_of(s) as usize;
             cfg.arbitration = spec.arbitration;
-            cfg.link_pipeline = topo
-                .links()
-                .iter()
-                .map(|l| l.pipeline_stages)
-                .max()
-                .unwrap_or(1)
-                .max(1);
+            cfg.link_pipeline = link_pipeline;
             if arm_timeout {
                 cfg.ack_timeout = Some(default_ack_timeout(cfg.retransmit_depth()));
             }
@@ -371,25 +619,24 @@ impl Noc {
             }
         }
 
-        // Channels: one per directed topology link, two per NI attachment.
-        let mut channels = Vec::new();
+        // Channels: one per directed topology link, two per NI
+        // attachment, appended to the SoA arrays in dense-id order.
+        // The per-link RNG stream numbering (streams from 1, in push
+        // order) is part of the determinism contract and unchanged.
+        let mut chan = Channels::default();
         let mut stream = 1u64;
-        let mut mkchannel = |producer, consumer, stages: u32| {
+        let mut mkchannel = |chan: &mut Channels, producer, consumer, stages: u32| {
             let cfg = LinkConfig::new(stages).with_error_rate(spec.link_error_rate);
-            let ch = Channel {
-                link: Link::with_faults(cfg, master_rng.child(stream), link_plan),
+            chan.push(
+                Link::with_faults(cfg, master_rng.child(stream), link_plan),
                 producer,
                 consumer,
-                fwd_latch: None,
-                rev_latch: None,
-                fwd_arrival: None,
-                rev_arrival: None,
-            };
+            );
             stream += 1;
-            ch
         };
         for l in topo.links() {
-            channels.push(mkchannel(
+            mkchannel(
+                &mut chan,
                 Endpoint::SwitchPort {
                     switch: l.from.0,
                     port: l.from_port.0 as usize,
@@ -399,7 +646,7 @@ impl Noc {
                     port: l.to_port.0 as usize,
                 },
                 l.pipeline_stages,
-            ));
+            );
         }
         for att in topo.nis() {
             let ni_ep = match att.kind {
@@ -410,26 +657,30 @@ impl Noc {
                 switch: att.switch.0,
                 port: att.port.0 as usize,
             };
-            channels.push(mkchannel(ni_ep, sw_ep, 1));
-            channels.push(mkchannel(sw_ep, ni_ep, 1));
+            mkchannel(&mut chan, ni_ep, sw_ep, 1);
+            mkchannel(&mut chan, sw_ep, ni_ep, 1);
         }
 
-        let chan_active = vec![false; channels.len()];
-        let sw_active = vec![false; switches.len()];
         let mut initiator_chan = vec![usize::MAX; initiators.len()];
         let mut target_chan = vec![usize::MAX; targets.len()];
-        for (i, ch) in channels.iter().enumerate() {
-            match ch.producer {
+        let mut sw_out_chan: Vec<Vec<usize>> = switches
+            .iter()
+            .map(|sw| vec![usize::MAX; sw.config().outputs])
+            .collect();
+        for (i, &producer) in chan.producer.iter().enumerate() {
+            match producer {
                 Endpoint::Initiator(idx) => initiator_chan[idx] = i,
                 Endpoint::Target(idx) => target_chan[idx] = i,
-                Endpoint::SwitchPort { .. } => {}
+                Endpoint::SwitchPort { switch, port } => sw_out_chan[switch][port] = i,
             }
         }
+        let sched = Scheduler::new(chan.len(), switches.len(), initiators.len(), targets.len());
         Ok(Noc {
             switches,
             initiators,
             targets,
-            channels,
+            chan,
+            sw_out_chan,
             initiator_index,
             target_index,
             now: Cycle::ZERO,
@@ -443,12 +694,9 @@ impl Noc {
             fault_rng: master_rng.child(0),
             monitor: None,
             attribution: None,
-            chan_active,
-            sw_active,
             initiator_chan,
             target_chan,
-            idle_blockers: 0,
-            flags_valid: false,
+            sched,
         })
     }
 
@@ -470,9 +718,9 @@ impl Noc {
     }
 
     fn install_trace(&mut self, mut vcd: VcdWriter) {
-        let mut valid = Vec::with_capacity(self.channels.len());
-        let mut packet = Vec::with_capacity(self.channels.len());
-        for i in 0..self.channels.len() {
+        let mut valid = Vec::with_capacity(self.chan.len());
+        let mut packet = Vec::with_capacity(self.chan.len());
+        for i in 0..self.chan.len() {
             valid.push(vcd.declare(format!("ch{i}_valid"), 1));
             packet.push(vcd.declare(format!("ch{i}_pkt"), 8));
         }
@@ -523,16 +771,21 @@ impl Noc {
             .initiator_index
             .get(&ni)
             .ok_or_else(|| self.classify_unknown(ni))?;
-        // Incremental activity update: a submit touches exactly one NI and
-        // its producer channel, so the flags stay valid without a full
-        // refresh (important — injectors submit mid-run every few cycles).
-        let was_idle = self.flags_valid && self.initiators[idx].is_idle();
+        // Incremental schedule update: a submit touches exactly one NI
+        // and its producer channel, so the schedule stays valid without
+        // a full rebuild (important — injectors submit mid-run every few
+        // cycles).
         let result = self.initiators[idx].submit(req, self.now);
-        if result.is_ok() && self.flags_valid {
-            if was_idle && !self.initiators[idx].is_idle() {
-                self.idle_blockers += 1;
+        if result.is_ok() && self.sched.valid {
+            note_blocker(
+                &mut self.sched.idle_blockers,
+                &mut self.sched.blocking_ini[idx],
+                !self.initiators[idx].is_idle(),
+            );
+            self.sched.chan_sched.insert(self.initiator_chan[idx]);
+            if self.initiators[idx].has_backlog() {
+                self.sched.ini_pending.insert(idx);
             }
-            self.chan_active[self.initiator_chan[idx]] = true;
         }
         result
     }
@@ -607,13 +860,20 @@ impl Noc {
             .target_index
             .get(&target)
             .ok_or_else(|| self.classify_unknown_t(target))?;
-        let was_idle = self.flags_valid && self.targets[idx].is_idle();
+        // Before the push: whether the target's latency queue already
+        // holds work (and therefore already has a live wheel wake).
+        let had_sched = self.targets[idx].next_response_at();
         let result = self.targets[idx].raise_interrupt(initiator, self.now);
-        if result.is_ok() && self.flags_valid {
-            if was_idle && !self.targets[idx].is_idle() {
-                self.idle_blockers += 1;
+        if result.is_ok() && self.sched.valid {
+            note_blocker(
+                &mut self.sched.idle_blockers,
+                &mut self.sched.blocking_tgt[idx],
+                !self.targets[idx].is_idle(),
+            );
+            if had_sched.is_none() {
+                let at = self.targets[idx].next_response_at().expect("just queued");
+                self.sched.tgt_wake.schedule(at.as_u64(), idx);
             }
-            self.chan_active[self.target_chan[idx]] = true;
         }
         result
     }
@@ -648,11 +908,10 @@ impl Noc {
     /// by (source switch, output port). Lets callers compare measured
     /// utilization against analytical link-load predictions.
     pub fn link_traversals(&self) -> Vec<(SwitchId, u8, u64)> {
-        self.channels
-            .iter()
-            .filter_map(|ch| match (ch.producer, ch.consumer) {
+        (0..self.chan.len())
+            .filter_map(|i| match (self.chan.producer[i], self.chan.consumer[i]) {
                 (Endpoint::SwitchPort { switch, port }, Endpoint::SwitchPort { .. }) => {
-                    Some((SwitchId(switch), port as u8, ch.link.traversals()))
+                    Some((SwitchId(switch), port as u8, self.chan.link[i].traversals()))
                 }
                 _ => None,
             })
@@ -701,11 +960,11 @@ impl Noc {
     /// monitor assumes it sees every transmission from cycle zero.
     pub fn enable_monitor(&mut self, config: MonitorConfig) {
         let mut monitor = ProtocolMonitor::new(config);
-        for i in 0..self.channels.len() {
+        for i in 0..self.chan.len() {
             let label = format!(
                 "{}->{}",
-                self.endpoint_label(self.channels[i].producer),
-                self.endpoint_label(self.channels[i].consumer)
+                self.endpoint_label(self.chan.producer[i]),
+                self.endpoint_label(self.chan.consumer[i])
             );
             monitor.add_channel(label);
         }
@@ -743,37 +1002,27 @@ impl Noc {
         for ni in &self.targets {
             ni_labels.insert(ni.id().0, format!("tgt{}", ni.id().0));
         }
-        let channels = (0..self.channels.len())
-            .map(|i| {
-                let ch = &self.channels[i];
-                AttrChannel {
-                    label: self.channel_label(i).expect("in range"),
-                    stages: ch.link.stages() as u64,
-                    consumer: match ch.consumer {
-                        Endpoint::SwitchPort { switch, .. } => AttrConsumer::Switch {
-                            extra: self.switches[switch].extra_stages() as u64,
-                        },
-                        Endpoint::Initiator(idx) => AttrConsumer::Ni {
-                            id: self.initiators[idx].id().0,
-                        },
-                        Endpoint::Target(idx) => AttrConsumer::Ni {
-                            id: self.targets[idx].id().0,
-                        },
+        let channels = (0..self.chan.len())
+            .map(|i| AttrChannel {
+                label: self.channel_label(i).expect("in range"),
+                stages: self.chan.link[i].stages() as u64,
+                consumer: match self.chan.consumer[i] {
+                    Endpoint::SwitchPort { switch, .. } => AttrConsumer::Switch {
+                        extra: self.switches[switch].extra_stages() as u64,
                     },
-                    producer_is_ni: !matches!(ch.producer, Endpoint::SwitchPort { .. }),
-                }
+                    Endpoint::Initiator(idx) => AttrConsumer::Ni {
+                        id: self.initiators[idx].id().0,
+                    },
+                    Endpoint::Target(idx) => AttrConsumer::Ni {
+                        id: self.targets[idx].id().0,
+                    },
+                },
+                producer_is_ni: !matches!(self.chan.producer[i], Endpoint::SwitchPort { .. }),
             })
             .collect();
-        let mut grant_channel: Vec<Vec<usize>> = self
-            .switches
-            .iter()
-            .map(|sw| vec![usize::MAX; sw.config().outputs])
-            .collect();
-        for (i, ch) in self.channels.iter().enumerate() {
-            if let Endpoint::SwitchPort { switch, port } = ch.producer {
-                grant_channel[switch][port] = i;
-            }
-        }
+        // The (switch, port) → produced-channel map is maintained by
+        // assembly for the scheduler; the attribution engine shares it.
+        let grant_channel = self.sw_out_chan.clone();
         for sw in &mut self.switches {
             sw.set_record_grants(true);
         }
@@ -808,25 +1057,25 @@ impl Noc {
     ///
     /// Panics on an out-of-range switch or port.
     pub fn stall_switch_output(&mut self, switch: usize, port: usize, cycles: u64) {
-        self.flags_valid = false;
+        self.sched.valid = false;
         self.switches[switch].stall_output(port, cycles);
     }
 
     /// Human-readable label of channel `i` (`producer->consumer`), or
     /// `None` for an out-of-range index.
     pub fn channel_label(&self, i: usize) -> Option<String> {
-        self.channels.get(i).map(|ch| {
+        (i < self.chan.len()).then(|| {
             format!(
                 "{}->{}",
-                self.endpoint_label(ch.producer),
-                self.endpoint_label(ch.consumer)
+                self.endpoint_label(self.chan.producer[i]),
+                self.endpoint_label(self.chan.consumer[i])
             )
         })
     }
 
     /// Labels of every channel, in dense channel order.
     pub fn channel_labels(&self) -> Vec<String> {
-        (0..self.channels.len())
+        (0..self.chan.len())
             .map(|i| self.channel_label(i).expect("in range"))
             .collect()
     }
@@ -856,7 +1105,7 @@ impl Noc {
             });
         }
         let link_labels = self.channel_labels();
-        let mut ch_metrics = Vec::with_capacity(self.channels.len());
+        let mut ch_metrics = Vec::with_capacity(self.chan.len());
         for label in &link_labels {
             let c = registry.add_component(format!("link:{label}"));
             ch_metrics.push(ChannelMetrics {
@@ -891,7 +1140,7 @@ impl Noc {
             .timeline
             .then(|| CongestionTimeline::new(config.sample_interval, link_labels, switch_labels));
         let flight = (config.flight_recorder_depth > 0)
-            .then(|| FlightRecorder::new(config.flight_recorder_depth, self.channels.len()));
+            .then(|| FlightRecorder::new(config.flight_recorder_depth, self.chan.len()));
         self.telemetry = Some(Box::new(TelemetryState {
             config,
             registry,
@@ -900,7 +1149,7 @@ impl Noc {
             ini_metrics,
             tgt_metrics,
             timeline,
-            last_traversals: vec![0; self.channels.len()],
+            last_traversals: vec![0; self.chan.len()],
             window_start: self.now.as_u64(),
             flight,
         }));
@@ -986,14 +1235,16 @@ impl Noc {
             }
         }
         let mut link_w: Vec<u32> = Vec::new();
-        for (i, ch) in self.channels.iter().enumerate() {
+        for i in 0..self.chan.len() {
             let ids = &t.ch_metrics[i];
-            let trav = ch.link.traversals();
+            let trav = self.chan.link[i].traversals();
             t.registry.set(ids.traversals, trav);
-            t.registry.set(ids.corrupted, ch.link.corrupted());
-            t.registry
-                .set(ids.retx, self.producer_tx(ch.producer).retransmissions());
-            let rx = self.consumer_rx(ch.consumer);
+            t.registry.set(ids.corrupted, self.chan.link[i].corrupted());
+            t.registry.set(
+                ids.retx,
+                self.producer_tx(self.chan.producer[i]).retransmissions(),
+            );
+            let rx = self.consumer_rx(self.chan.consumer[i]);
             t.registry.set(ids.acks, rx.accepted());
             t.registry.set(ids.nacks, rx.rejected());
             if t.timeline.is_some() {
@@ -1041,8 +1292,8 @@ impl Noc {
     pub fn telemetry_summary(&self) -> TelemetrySummary {
         let mut links = Vec::new();
         let mut total = 0u64;
-        for (i, ch) in self.channels.iter().enumerate() {
-            let r = self.producer_tx(ch.producer).retransmissions();
+        for i in 0..self.chan.len() {
+            let r = self.producer_tx(self.chan.producer[i]).retransmissions();
             total += r;
             if r > 0 {
                 links.push((self.channel_label(i).expect("in range"), r));
@@ -1069,7 +1320,7 @@ impl Noc {
     /// network (switch output ports and NI network ports). Conformance
     /// hook: a sabotaged network must trip the protocol monitor.
     pub fn sabotage_all_senders(&mut self, mode: FlowSabotage) {
-        self.flags_valid = false;
+        self.sched.valid = false;
         for sw in &mut self.switches {
             for p in 0..sw.config().outputs {
                 sw.link_tx_mut(p).sabotage(mode);
@@ -1093,54 +1344,104 @@ impl Noc {
         self.trace.is_none() && self.monitor.is_none() && !self.stall_faults
     }
 
-    /// Recomputes the per-channel / per-switch activity flags and the
-    /// O(1) idle-blocker count from current state. A channel is flagged
-    /// inactive only when *every* step phase is a no-op for it: latches
-    /// and pending arrivals empty, link pipes empty, and the producer has
+    /// Rebuilds the event schedule and the cached idle-blocker census
+    /// from a full scan of current state. A channel is left unscheduled
+    /// only when *every* step phase is a no-op for it: latches and
+    /// pending arrivals empty, link pipes empty, and the producer has
     /// nothing to transmit (an open retransmission window counts as work —
     /// it must keep ticking the ACK timeout).
-    fn refresh_activity(&mut self) {
-        let mut blockers = 0usize;
-        for (sw, active) in self.switches.iter().zip(self.sw_active.iter_mut()) {
-            let (input_act, idle) = sw.activity();
-            *active = input_act;
-            blockers += usize::from(!idle);
-        }
-        for ni in &self.initiators {
-            blockers += usize::from(!ni.is_idle());
-        }
-        for ni in &self.targets {
-            blockers += usize::from(!ni.is_idle());
-        }
+    fn rebuild_schedule(&mut self) {
         let switches = &self.switches;
         let initiators = &self.initiators;
         let targets = &self.targets;
-        for (ch, active) in self.channels.iter().zip(self.chan_active.iter_mut()) {
-            blockers += usize::from(ch.fwd_latch.is_some() || ch.fwd_arrival.is_some());
-            *active = ch.fwd_latch.is_some()
-                || ch.rev_latch.is_some()
-                || ch.fwd_arrival.is_some()
-                || ch.rev_arrival.is_some()
-                || !ch.link.is_empty()
-                || match ch.producer {
+        let chan = &self.chan;
+        let now = self.now.as_u64();
+        let sched = &mut self.sched;
+        sched.chan_sched.clear();
+        sched.sw_sched.clear();
+        sched.ini_pending.clear();
+        sched.tgt_wake.reset(now);
+        let mut blockers = 0usize;
+        for (s, sw) in switches.iter().enumerate() {
+            let (input_act, idle) = sw.activity();
+            if input_act {
+                sched.sw_sched.insert(s);
+            }
+            sched.blocking_sw[s] = !idle;
+            blockers += usize::from(!idle);
+        }
+        for (n, ni) in initiators.iter().enumerate() {
+            let blocking = !ni.is_idle();
+            sched.blocking_ini[n] = blocking;
+            blockers += usize::from(blocking);
+            if ni.has_backlog() {
+                sched.ini_pending.insert(n);
+            }
+        }
+        for (n, ni) in targets.iter().enumerate() {
+            let blocking = !ni.is_idle();
+            sched.blocking_tgt[n] = blocking;
+            blockers += usize::from(blocking);
+            if let Some(at) = ni.next_response_at() {
+                // `schedule` clamps an already-due head to `now`.
+                sched.tgt_wake.schedule(at.as_u64(), n);
+            }
+        }
+        for i in 0..chan.len() {
+            let blocking = chan.fwd_latch[i].is_some() || chan.fwd_arrival[i].is_some();
+            sched.blocking_chan[i] = blocking;
+            blockers += usize::from(blocking);
+            let active = chan.fwd_latch[i].is_some()
+                || chan.rev_latch[i].is_some()
+                || chan.fwd_arrival[i].is_some()
+                || chan.rev_arrival[i].is_some()
+                || !chan.link[i].is_empty()
+                || match chan.producer[i] {
                     Endpoint::SwitchPort { switch, port } => switches[switch].output_pending(port),
                     Endpoint::Initiator(idx) => initiators[idx].link_busy(),
                     Endpoint::Target(idx) => targets[idx].link_busy(),
                 };
+            if active {
+                sched.chan_sched.insert(i);
+            }
         }
-        self.idle_blockers = blockers;
-        self.flags_valid = true;
+        sched.idle_blockers = blockers;
+        sched.valid = true;
     }
 
     /// Advances the network one clock cycle.
+    ///
+    /// Observer-free configurations (no trace, no protocol monitor, no
+    /// stall-fault injection) run the event-driven kernel, which visits
+    /// only scheduled components; everything else runs the reference
+    /// full scan. Both produce bit-identical state, statistics, RNG
+    /// streams, and observer output — pinned by
+    /// `tests/kernel_equivalence.rs`.
     pub fn step(&mut self) {
-        let fast = self.fast_path();
-        if fast && !self.flags_valid {
-            self.refresh_activity();
+        if self.fast_path() {
+            if !self.sched.valid {
+                self.rebuild_schedule();
+            }
+            self.step_event();
+        } else {
+            self.sched.valid = false;
+            self.step_full();
         }
-        // `skip` holds only while the flags are valid; every skipped
-        // channel/switch is then provably inert for this whole cycle.
-        let skip = fast && self.flags_valid;
+    }
+
+    /// Advances one cycle with the reference kernel (full component
+    /// scan), regardless of the fast-path gate. The differential
+    /// equivalence harness drives this side-by-side with [`step`](Self::step).
+    #[cfg(any(test, feature = "reference-kernel"))]
+    pub fn step_reference(&mut self) {
+        self.sched.valid = false;
+        self.step_full();
+    }
+
+    /// The reference step: every channel, switch, and NI is processed
+    /// every cycle. The only path that supports per-event observers
+    /// (VCD trace, protocol monitor) and stall-fault injection.
+    fn step_full(&mut self) {
         // The monitor and attribution engine are moved out for the
         // duration of the step so their `note_*` calls can run between
         // mutable component accesses.
@@ -1152,17 +1453,15 @@ impl Noc {
         let viol_before = monitor.as_ref().map_or(0, |m| m.violations().len());
 
         // Phase 1: links shift.
-        for (ch, &active) in self.channels.iter_mut().zip(self.chan_active.iter()) {
-            if skip && !active {
-                continue;
-            }
-            let (fwd, rev) = ch.link.shift(ch.fwd_latch.take(), ch.rev_latch.take());
-            ch.fwd_arrival = fwd;
-            ch.rev_arrival = rev;
+        for i in 0..self.chan.len() {
+            let (fwd, rev) = self.chan.link[i]
+                .shift(self.chan.fwd_latch[i].take(), self.chan.rev_latch[i].take());
+            self.chan.fwd_arrival[i] = fwd;
+            self.chan.rev_arrival[i] = rev;
         }
         if let Some(trace) = &mut self.trace {
-            for (i, ch) in self.channels.iter().enumerate() {
-                let (valid, pkt) = match &ch.fwd_arrival {
+            for (i, arrival) in self.chan.fwd_arrival.iter().enumerate() {
+                let (valid, pkt) = match arrival {
                     Some(lf) => (1, lf.flit.meta.packet_id & 0xFF),
                     None => (0, 0),
                 };
@@ -1184,65 +1483,31 @@ impl Noc {
         }
         // Phase 2: producers transmit (consume reverse arrivals).
         {
+            let chan = &mut self.chan;
             let switches = &mut self.switches;
             let initiators = &mut self.initiators;
             let targets = &mut self.targets;
-            // Flight recording rides the same skip logic: an inactive
-            // channel transmits nothing, so skipping it loses no event.
             let mut flight = self.telemetry.as_mut().and_then(|t| t.flight.as_mut());
-            for (i, (ch, &active)) in self
-                .channels
-                .iter_mut()
-                .zip(self.chan_active.iter())
-                .enumerate()
-            {
-                if skip && !active {
-                    continue;
-                }
-                let rev = ch.rev_arrival.take();
-                let out = match ch.producer {
-                    Endpoint::SwitchPort { switch, port } => switches[switch].transmit(port, rev),
-                    Endpoint::Initiator(idx) => initiators[idx].transmit(rev),
-                    Endpoint::Target(idx) => targets[idx].transmit(rev),
-                };
-                if let (Some(m), Some(lf)) = (monitor.as_mut(), &out) {
-                    m.note_transmit(i, lf.seq, &lf.flit, cycle);
-                }
-                if let (Some(a), Some(lf)) = (attr.as_deref_mut(), &out) {
-                    a.note_transmit(
-                        i,
-                        lf.flit.meta.packet_id,
-                        lf.seq,
-                        lf.flit.kind.is_head(),
-                        lf.flit.kind.is_tail(),
-                        lf.flit.meta.injected_at.as_u64(),
-                        lf.flit.meta.src_ni as usize,
-                        cycle,
-                    );
-                }
-                if let (Some(fr), Some(lf)) = (flight.as_mut(), &out) {
-                    let kind = fr.classify_transmit(i, lf.seq);
-                    fr.record(TraceEvent {
-                        cycle,
-                        channel: i as u32,
-                        packet_id: lf.flit.meta.packet_id,
-                        injected_at: lf.flit.meta.injected_at.as_u64(),
-                        seq: lf.seq,
-                        kind,
-                    });
-                }
-                ch.fwd_latch = out;
+            for i in 0..chan.len() {
+                phase2_transmit(
+                    i,
+                    chan,
+                    switches,
+                    initiators,
+                    targets,
+                    monitor.as_mut(),
+                    attr.as_deref_mut(),
+                    flight.as_deref_mut(),
+                    cycle,
+                );
             }
         }
         // Phase 3: switch allocation + crossbar.
-        for (sw, &active) in self.switches.iter_mut().zip(self.sw_active.iter()) {
-            if skip && !active {
-                continue;
-            }
+        for sw in &mut self.switches {
             sw.crossbar();
         }
         // Attribution: drain the crossbar tail grants collected in
-        // phase 3 (inert switches were skipped and collected nothing).
+        // phase 3.
         if let Some(a) = attr.as_deref_mut() {
             for (s, sw) in self.switches.iter_mut().enumerate() {
                 for &(port, pkt) in sw.granted_tails() {
@@ -1253,90 +1518,32 @@ impl Noc {
         }
         // Phase 4: consumers receive (produce reverse replies).
         {
+            let chan = &mut self.chan;
             let switches = &mut self.switches;
             let initiators = &mut self.initiators;
             let targets = &mut self.targets;
             let now = self.now;
             let mut flight = self.telemetry.as_mut().and_then(|t| t.flight.as_mut());
-            for (i, (ch, &active)) in self
-                .channels
-                .iter_mut()
-                .zip(self.chan_active.iter())
-                .enumerate()
-            {
-                if skip && !active {
-                    continue;
-                }
-                let fwd = ch.fwd_arrival.take();
-                let consumer = ch.consumer;
-                if let (Some(fr), Some(lf)) = (flight.as_mut(), &fwd) {
-                    // Wire-level classification: a corrupted flit will be
-                    // nACKed; an intact tail reaching an NI leaves the
-                    // network. (A stale duplicate still logs an arrival —
-                    // the recorder shows what crossed the link.)
-                    let kind = if lf.corrupted {
-                        TraceEventKind::CorruptArrival
-                    } else if !matches!(consumer, Endpoint::SwitchPort { .. })
-                        && lf.flit.kind.is_tail()
-                    {
-                        TraceEventKind::Deliver
-                    } else {
-                        TraceEventKind::Arrival
-                    };
-                    fr.record(TraceEvent {
-                        cycle,
-                        channel: i as u32,
-                        packet_id: lf.flit.meta.packet_id,
-                        injected_at: lf.flit.meta.injected_at.as_u64(),
-                        seq: lf.seq,
-                        kind,
-                    });
-                }
-                // An accept is visible as a bump of the receiver's counter;
-                // the accepted flit is then the arriving one (`fwd` is
-                // `Copy`, so watching it costs nothing and nothing is
-                // cloned).
-                let rx_accepted =
-                    |switches: &[Switch], initiators: &[InitiatorNi], targets: &[TargetNi]| {
-                        match consumer {
-                            Endpoint::SwitchPort { switch, port } => {
-                                switches[switch].link_rx(port).accepted()
-                            }
-                            Endpoint::Initiator(idx) => initiators[idx].link_rx().accepted(),
-                            Endpoint::Target(idx) => targets[idx].link_rx().accepted(),
-                        }
-                    };
-                let watch_accepts = monitor.is_some() || attr.is_some();
-                let accepted_before = if watch_accepts {
-                    rx_accepted(switches, initiators, targets)
-                } else {
-                    0
-                };
-                let reply = match consumer {
-                    Endpoint::SwitchPort { switch, port } => switches[switch].receive(port, fwd),
-                    Endpoint::Initiator(idx) => initiators[idx].receive(fwd, now),
-                    Endpoint::Target(idx) => targets[idx].receive(fwd, now),
-                };
-                if watch_accepts && rx_accepted(switches, initiators, targets) > accepted_before {
-                    if let Some(lf) = fwd {
-                        if let Some(m) = monitor.as_mut() {
-                            m.note_accept(i, &lf.flit, cycle);
-                        }
-                        if let Some(a) = attr.as_deref_mut() {
-                            if lf.flit.kind.is_tail() {
-                                a.note_accept(i, lf.flit.meta.packet_id, cycle);
-                            }
-                        }
-                    }
-                }
-                ch.rev_latch = reply;
+            for i in 0..chan.len() {
+                phase4_receive(
+                    i,
+                    chan,
+                    switches,
+                    initiators,
+                    targets,
+                    monitor.as_mut(),
+                    attr.as_deref_mut(),
+                    flight.as_deref_mut(),
+                    cycle,
+                    now,
+                );
             }
         }
         // Monitor: once-per-cycle endpoint invariants on every channel.
         if let Some(m) = monitor.as_mut() {
-            for i in 0..self.channels.len() {
-                let tx = self.producer_tx(self.channels[i].producer);
-                let rx = self.consumer_rx(self.channels[i].consumer);
+            for i in 0..self.chan.len() {
+                let tx = self.producer_tx(self.chan.producer[i]);
+                let rx = self.consumer_rx(self.chan.consumer[i]);
                 m.check_endpoints(i, tx, rx, cycle);
             }
         }
@@ -1367,64 +1574,358 @@ impl Noc {
                 self.sample_telemetry(cycle);
             }
         }
-        // Re-derive the flags for the next cycle (and the O(1) idle
-        // check). Slow-path steps leave them invalid: observers and fault
-        // injection do not pay the refresh cost.
-        if fast {
-            self.refresh_activity();
+        // A reference step invalidates the event schedule; when the
+        // fast-path gate would allow event stepping, rebuild it here so
+        // `is_idle` stays O(1) between reference steps.
+        if self.fast_path() {
+            self.rebuild_schedule();
         } else {
-            self.flags_valid = false;
+            self.sched.valid = false;
         }
         self.now = self.now.next();
     }
 
-    /// Runs `cycles` clock cycles.
+    /// The event-driven step: walks only scheduled channels/switches and
+    /// due NI wakes, maintaining the schedule incrementally. Requires a
+    /// valid schedule and an observer-free configuration (the dispatch
+    /// in [`step`](Self::step) guarantees both).
+    fn step_event(&mut self) {
+        debug_assert!(self.sched.valid && self.fast_path());
+        let mut attr = self.attribution.take();
+        let cycle = self.now.as_u64();
+
+        // Swap this cycle's schedules out against empty scratch sets:
+        // next-cycle membership accumulates in `chan_sched`/`sw_sched`
+        // while this cycle's membership is walked.
+        let chan_cur = std::mem::replace(
+            &mut self.sched.chan_sched,
+            std::mem::take(&mut self.sched.chan_scratch),
+        );
+        let sw_cur = std::mem::replace(
+            &mut self.sched.sw_sched,
+            std::mem::take(&mut self.sched.sw_scratch),
+        );
+
+        // Phase 1: links shift. Unscheduled channels hold no latches and
+        // an empty pipe — their shift is a no-op and draws no RNG.
+        {
+            let chan = &mut self.chan;
+            for i in chan_cur.iter() {
+                let (fwd, rev) =
+                    chan.link[i].shift(chan.fwd_latch[i].take(), chan.rev_latch[i].take());
+                chan.fwd_arrival[i] = fwd;
+                chan.rev_arrival[i] = rev;
+            }
+        }
+        // Phase 2: producers transmit (consume reverse arrivals). Every
+        // endpoint a phase touches lands in a touched set so its blocker
+        // bit and activity are re-derived after the ticks.
+        {
+            let chan = &mut self.chan;
+            let switches = &mut self.switches;
+            let initiators = &mut self.initiators;
+            let targets = &mut self.targets;
+            let sched = &mut self.sched;
+            let mut flight = self.telemetry.as_mut().and_then(|t| t.flight.as_mut());
+            for i in chan_cur.iter() {
+                match chan.producer[i] {
+                    Endpoint::SwitchPort { switch, .. } => {
+                        sched.sw_cand.insert(switch);
+                    }
+                    Endpoint::Initiator(idx) => {
+                        sched.ini_touched.insert(idx);
+                    }
+                    Endpoint::Target(idx) => {
+                        sched.tgt_touched.insert(idx);
+                    }
+                }
+                phase2_transmit(
+                    i,
+                    chan,
+                    switches,
+                    initiators,
+                    targets,
+                    None,
+                    attr.as_deref_mut(),
+                    flight.as_deref_mut(),
+                    cycle,
+                );
+            }
+        }
+        // Phase 3: switch allocation + crossbar for switches whose input
+        // side held work. A granted flit lands in an output queue, so
+        // the produced channel joins next cycle's schedule.
+        for s in sw_cur.iter() {
+            self.switches[s].crossbar();
+            self.sched.sw_cand.insert(s);
+            for p in 0..self.switches[s].config().outputs {
+                if self.switches[s].output_pending(p) {
+                    let c = self.sw_out_chan[s][p];
+                    if c != usize::MAX {
+                        self.sched.chan_sched.insert(c);
+                    }
+                }
+            }
+        }
+        // Attribution: drain the crossbar tail grants. Ascending switch
+        // order matches the reference step; switches that did not
+        // crossbar this cycle collected no grants.
+        if let Some(a) = attr.as_deref_mut() {
+            for s in sw_cur.iter() {
+                let sw = &mut self.switches[s];
+                for &(port, pkt) in sw.granted_tails() {
+                    a.note_grant(s, port, pkt, cycle);
+                }
+                sw.clear_granted_tails();
+            }
+        }
+        // Phase 4: consumers receive (produce reverse replies). A target
+        // whose latency queue goes empty→non-empty gets a wheel wake at
+        // its head's ready cycle (head-of-line pop order keeps the
+        // head's cycle the exact next pop time).
+        {
+            let chan = &mut self.chan;
+            let switches = &mut self.switches;
+            let initiators = &mut self.initiators;
+            let targets = &mut self.targets;
+            let sched = &mut self.sched;
+            let now = self.now;
+            let mut flight = self.telemetry.as_mut().and_then(|t| t.flight.as_mut());
+            for i in chan_cur.iter() {
+                let had_fwd = chan.fwd_arrival[i].is_some();
+                let mut tgt_before = None;
+                match chan.consumer[i] {
+                    Endpoint::SwitchPort { switch, .. } => {
+                        // `receive(port, None)` is a strict no-op.
+                        if had_fwd {
+                            sched.sw_cand.insert(switch);
+                        }
+                    }
+                    Endpoint::Initiator(idx) => {
+                        sched.ini_touched.insert(idx);
+                    }
+                    Endpoint::Target(idx) => {
+                        sched.tgt_touched.insert(idx);
+                        tgt_before = targets[idx].next_response_at();
+                    }
+                }
+                phase4_receive(
+                    i,
+                    chan,
+                    switches,
+                    initiators,
+                    targets,
+                    None,
+                    attr.as_deref_mut(),
+                    flight.as_deref_mut(),
+                    cycle,
+                    now,
+                );
+                if let Endpoint::Target(idx) = chan.consumer[i] {
+                    if tgt_before.is_none() {
+                        if let Some(at) = targets[idx].next_response_at() {
+                            sched.tgt_wake.schedule(at.as_u64(), idx);
+                        }
+                    }
+                }
+            }
+        }
+        // NI housekeeping: only initiators with a submit backlog and
+        // targets with a due response can make progress; every other
+        // tick is a provable no-op.
+        {
+            let mut ini_buf = std::mem::take(&mut self.sched.ini_buf);
+            ini_buf.clear();
+            ini_buf.extend(self.sched.ini_pending.iter());
+            for &idx in &ini_buf {
+                self.initiators[idx].tick(self.now);
+                self.sched.ini_touched.insert(idx);
+                if !self.initiators[idx].has_backlog() {
+                    self.sched.ini_pending.remove(idx);
+                }
+                if self.initiators[idx].link_busy() {
+                    self.sched.chan_sched.insert(self.initiator_chan[idx]);
+                }
+            }
+            self.sched.ini_buf = ini_buf;
+
+            let mut wake_buf = std::mem::take(&mut self.sched.wake_buf);
+            wake_buf.clear();
+            self.sched.tgt_wake.advance_to(cycle, &mut wake_buf);
+            for &(_, idx) in &wake_buf {
+                self.targets[idx].tick(self.now);
+                self.sched.tgt_touched.insert(idx);
+                if let Some(at) = self.targets[idx].next_response_at() {
+                    debug_assert!(at.as_u64() > cycle, "tick left a due response queued");
+                    self.sched.tgt_wake.schedule(at.as_u64(), idx);
+                }
+                if self.targets[idx].link_busy() {
+                    self.sched.chan_sched.insert(self.target_chan[idx]);
+                }
+            }
+            self.sched.wake_buf = wake_buf;
+        }
+        // Re-derive activity and blocker bits for everything this step
+        // touched. Unscheduled components were provably untouched, so
+        // their cached bits still hold.
+        {
+            let chan = &self.chan;
+            let switches = &self.switches;
+            let initiators = &self.initiators;
+            let targets = &self.targets;
+            let sched = &mut self.sched;
+            for i in chan_cur.iter() {
+                let blocking = chan.fwd_latch[i].is_some() || chan.fwd_arrival[i].is_some();
+                note_blocker(
+                    &mut sched.idle_blockers,
+                    &mut sched.blocking_chan[i],
+                    blocking,
+                );
+                let active = chan.fwd_latch[i].is_some()
+                    || chan.rev_latch[i].is_some()
+                    || chan.fwd_arrival[i].is_some()
+                    || chan.rev_arrival[i].is_some()
+                    || !chan.link[i].is_empty()
+                    || match chan.producer[i] {
+                        Endpoint::SwitchPort { switch, port } => {
+                            switches[switch].output_pending(port)
+                        }
+                        Endpoint::Initiator(idx) => initiators[idx].link_busy(),
+                        Endpoint::Target(idx) => targets[idx].link_busy(),
+                    };
+                if active {
+                    sched.chan_sched.insert(i);
+                }
+            }
+            let mut sw_buf = std::mem::take(&mut sched.sw_buf);
+            sched.sw_cand.drain_into(&mut sw_buf);
+            for &s in &sw_buf {
+                let (input_act, idle) = switches[s].activity();
+                if input_act {
+                    sched.sw_sched.insert(s);
+                }
+                note_blocker(&mut sched.idle_blockers, &mut sched.blocking_sw[s], !idle);
+            }
+            sched.sw_buf = sw_buf;
+            let mut ni_buf = std::mem::take(&mut sched.ni_buf);
+            sched.ini_touched.drain_into(&mut ni_buf);
+            for &n in &ni_buf {
+                note_blocker(
+                    &mut sched.idle_blockers,
+                    &mut sched.blocking_ini[n],
+                    !initiators[n].is_idle(),
+                );
+            }
+            sched.tgt_touched.drain_into(&mut ni_buf);
+            for &n in &ni_buf {
+                note_blocker(
+                    &mut sched.idle_blockers,
+                    &mut sched.blocking_tgt[n],
+                    !targets[n].is_idle(),
+                );
+            }
+            sched.ni_buf = ni_buf;
+        }
+        self.attribution = attr;
+        // Telemetry epoch boundary: same cadence as the reference step.
+        if let Some(t) = &self.telemetry {
+            if (cycle + 1).is_multiple_of(t.config.sample_interval) {
+                self.sample_telemetry(cycle);
+            }
+        }
+        // Return the walked (now cleared) sets to the scratch slots.
+        let mut chan_cur = chan_cur;
+        let mut sw_cur = sw_cur;
+        chan_cur.clear();
+        sw_cur.clear();
+        self.sched.chan_scratch = chan_cur;
+        self.sched.sw_scratch = sw_cur;
+        self.now = self.now.next();
+    }
+
+    /// Cycles that can be skipped outright, bounded by `limit`: when the
+    /// schedule is valid and empty (no channel, switch, or initiator has
+    /// work), nothing mutates until the next target wake — stepping
+    /// through the gap would be pure no-ops. Telemetry disables jumping
+    /// (its epoch sampling is cycle-cadenced), as does any observer via
+    /// the fast-path gate.
+    fn idle_gap(&self, limit: u64) -> Option<u64> {
+        if limit == 0 || !self.sched.valid || !self.fast_path() || self.telemetry.is_some() {
+            return None;
+        }
+        let s = &self.sched;
+        if !s.chan_sched.is_empty() || !s.sw_sched.is_empty() || !s.ini_pending.is_empty() {
+            return None;
+        }
+        let gap = match s.tgt_wake.next_event_cycle() {
+            Some(at) => at.saturating_sub(self.now.as_u64()).min(limit),
+            // No wake anywhere: the network is drained (or deadlocked on
+            // external input) and every remaining cycle is a no-op.
+            None => limit,
+        };
+        (gap > 0).then_some(gap)
+    }
+
+    /// Runs `cycles` clock cycles. Whole idle gaps — runs of cycles in
+    /// which provably nothing happens — are skipped by advancing the
+    /// clock directly to the next scheduled event.
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
+        let mut remaining = cycles;
+        while remaining > 0 {
+            if let Some(skip) = self.idle_gap(remaining) {
+                self.now = Cycle::new(self.now.as_u64() + skip);
+                remaining -= skip;
+                continue;
+            }
             self.step();
+            remaining -= 1;
         }
     }
 
-    /// True when no flit is buffered or in flight anywhere. When the
-    /// activity flags are current (every fast-path step refreshes them)
-    /// this is an O(1) counter check instead of a full network scan.
+    /// True when no flit is buffered or in flight anywhere. While the
+    /// schedule is valid (every event step maintains it) this is an O(1)
+    /// counter check instead of a full network scan.
     pub fn is_idle(&self) -> bool {
-        if self.flags_valid {
-            let idle = self.idle_blockers == 0;
+        if self.sched.valid {
+            let idle = self.sched.idle_blockers == 0;
             debug_assert_eq!(idle, self.full_idle_scan(), "idle cache out of sync");
             return idle;
         }
         self.full_idle_scan()
     }
 
-    /// `(active, total)` channel counts from the last activity refresh,
-    /// or `None` while the flags are stale (slow-path steps, fresh
-    /// networks). Introspection for perf analysis and tests.
+    /// `(scheduled, total)` channel counts from the live schedule, or
+    /// `None` while it is stale (reference steps, fresh networks).
+    /// Introspection for perf analysis and tests.
     pub fn active_channels(&self) -> Option<(usize, usize)> {
-        self.flags_valid.then(|| {
-            let active = self.chan_active.iter().filter(|&&a| a).count();
-            (active, self.chan_active.len())
-        })
+        self.sched
+            .valid
+            .then(|| (self.sched.chan_sched.len(), self.chan.len()))
     }
 
     fn full_idle_scan(&self) -> bool {
         self.initiators.iter().all(InitiatorNi::is_idle)
             && self.targets.iter().all(TargetNi::is_idle)
             && self.switches.iter().all(Switch::is_idle)
-            && self
-                .channels
-                .iter()
-                .all(|c| c.fwd_latch.is_none() && c.fwd_arrival.is_none())
+            && self.chan.fwd_latch.iter().all(Option::is_none)
+            && self.chan.fwd_arrival.iter().all(Option::is_none)
     }
 
     /// Runs until the network drains or `max_cycles` elapse; returns true
-    /// if it drained.
+    /// if it drained. Idle gaps are skipped as in [`run`](Self::run).
     pub fn run_until_idle(&mut self, max_cycles: u64) -> bool {
-        for _ in 0..max_cycles {
+        let mut remaining = max_cycles;
+        while remaining > 0 {
             if self.is_idle() {
                 return true;
             }
+            if let Some(skip) = self.idle_gap(remaining) {
+                self.now = Cycle::new(self.now.as_u64() + skip);
+                remaining -= skip;
+                continue;
+            }
             self.step();
+            remaining -= 1;
         }
         self.is_idle()
     }
@@ -1459,10 +1960,10 @@ impl Noc {
             s.packets_delivered += st.packets_received;
             s.request_latency.merge(&st.latency);
         }
-        for ch in &self.channels {
-            s.flits_corrupted += ch.link.corrupted();
-            s.acks_dropped += ch.link.rev_dropped();
-            s.acks_corrupted += ch.link.rev_corrupted();
+        for link in &self.chan.link {
+            s.flits_corrupted += link.corrupted();
+            s.acks_dropped += link.rev_dropped();
+            s.acks_corrupted += link.rev_corrupted();
         }
         s
     }
@@ -1569,13 +2070,16 @@ impl Noc {
         for ni in &self.targets {
             ni.save_state(&mut w);
         }
-        w.len(self.channels.len());
-        for ch in &self.channels {
-            ch.link.save_state(&mut w);
-            snap::save_opt_link_flit(&mut w, &ch.fwd_latch);
-            snap::save_opt_acknack(&mut w, &ch.rev_latch);
-            snap::save_opt_link_flit(&mut w, &ch.fwd_arrival);
-            snap::save_opt_acknack(&mut w, &ch.rev_arrival);
+        w.len(self.chan.len());
+        // Per-channel field order (link, fwd latch, rev latch, fwd
+        // arrival, rev arrival): the container stays byte-identical to
+        // the per-channel-object layout this SoA form replaced.
+        for i in 0..self.chan.len() {
+            self.chan.link[i].save_state(&mut w);
+            snap::save_opt_link_flit(&mut w, &self.chan.fwd_latch[i]);
+            snap::save_opt_acknack(&mut w, &self.chan.rev_latch[i]);
+            snap::save_opt_link_flit(&mut w, &self.chan.fwd_arrival[i]);
+            snap::save_opt_acknack(&mut w, &self.chan.rev_arrival[i]);
         }
         // Observers, each in a skippable section: the restored network
         // may collect a different set.
@@ -1637,18 +2141,18 @@ impl Noc {
             ni.load_state(&mut r)?;
         }
         let n = r.len()?;
-        if n != self.channels.len() {
+        if n != self.chan.len() {
             return Err(SnapshotError::Malformed(format!(
                 "network has {} channels, snapshot {n}",
-                self.channels.len()
+                self.chan.len()
             )));
         }
-        for ch in &mut self.channels {
-            ch.link.load_state(&mut r)?;
-            ch.fwd_latch = snap::load_opt_link_flit(&mut r)?;
-            ch.rev_latch = snap::load_opt_acknack(&mut r)?;
-            ch.fwd_arrival = snap::load_opt_link_flit(&mut r)?;
-            ch.rev_arrival = snap::load_opt_acknack(&mut r)?;
+        for i in 0..self.chan.len() {
+            self.chan.link[i].load_state(&mut r)?;
+            self.chan.fwd_latch[i] = snap::load_opt_link_flit(&mut r)?;
+            self.chan.rev_latch[i] = snap::load_opt_acknack(&mut r)?;
+            self.chan.fwd_arrival[i] = snap::load_opt_link_flit(&mut r)?;
+            self.chan.rev_arrival[i] = snap::load_opt_acknack(&mut r)?;
         }
         load_section(&mut r, self.trace.as_mut().map(|t| &mut t.vcd))?;
         load_section(&mut r, self.monitor.as_mut())?;
@@ -1656,9 +2160,9 @@ impl Noc {
         load_section(&mut r, self.attribution.as_deref_mut())?;
         r.finish()?;
         self.now = Cycle::new(now);
-        // Activity flags are a cache over the state just replaced; the
-        // next fast-path step re-derives them.
-        self.flags_valid = false;
+        // The event schedule is a cache over the state just replaced;
+        // the next fast-path step rebuilds it (including the wheel).
+        self.sched.valid = false;
         Ok(())
     }
 }
@@ -1670,29 +2174,10 @@ impl std::fmt::Debug for Noc {
             .field("switches", &self.switches.len())
             .field("initiators", &self.initiators.len())
             .field("targets", &self.targets.len())
-            .field("channels", &self.channels.len())
+            .field("channels", &self.chan.len())
             .field("now", &self.now)
             .finish()
     }
-}
-
-/// Highest port index used on a switch (its instantiated radix - 1).
-fn switch_max_port(topo: &xpipes_topology::Topology, s: SwitchId) -> usize {
-    let mut max = 0usize;
-    for l in topo.links() {
-        if l.from == s {
-            max = max.max(l.from_port.0 as usize);
-        }
-        if l.to == s {
-            max = max.max(l.to_port.0 as usize);
-        }
-    }
-    for ni in topo.nis() {
-        if ni.switch == s {
-            max = max.max(ni.port.0 as usize);
-        }
-    }
-    max
 }
 
 #[cfg(test)]

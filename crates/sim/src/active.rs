@@ -1,0 +1,234 @@
+//! Dense active-component sets for the event-driven NoC kernel.
+//!
+//! An [`ActiveSet`] is a fixed-capacity set of small integers (dense
+//! component ids: channel indices, switch indices, NI indices) backed by
+//! a two-level bitmap. Level 0 is one bit per member; level 1 is one bit
+//! per level-0 word, so iteration and emptiness checks skip empty
+//! 4096-member spans without scanning them. All mutating operations are
+//! O(1); iteration is ascending and costs O(populated words).
+//!
+//! Ascending iteration order matters: the kernel processes scheduled
+//! components in dense-id order, which is exactly the order the
+//! reference (process-everything) step visits them, so observer event
+//! streams (attribution, flight recorder) are byte-identical between the
+//! two kernels.
+
+/// A fixed-capacity set of `usize` ids with O(1) insert/remove/contains
+/// and ascending iteration.
+#[derive(Debug, Clone, Default)]
+pub struct ActiveSet {
+    /// Level 0: bit `i % 64` of `words[i / 64]` ⇔ `i` is a member.
+    words: Vec<u64>,
+    /// Level 1: bit `w % 64` of `summary[w / 64]` ⇔ `words[w] != 0`.
+    summary: Vec<u64>,
+    capacity: usize,
+    len: usize,
+}
+
+impl ActiveSet {
+    /// An empty set holding ids in `0..capacity`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let nwords = capacity.div_ceil(64);
+        ActiveSet {
+            words: vec![0; nwords],
+            summary: vec![0; nwords.div_ceil(64)],
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// Number of ids the set can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no ids are members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when `id` is a member.
+    #[must_use]
+    pub fn contains(&self, id: usize) -> bool {
+        debug_assert!(
+            id < self.capacity,
+            "id {id} out of capacity {}",
+            self.capacity
+        );
+        self.words[id / 64] & (1u64 << (id % 64)) != 0
+    }
+
+    /// Adds `id`; returns true when it was not already a member.
+    pub fn insert(&mut self, id: usize) -> bool {
+        debug_assert!(
+            id < self.capacity,
+            "id {id} out of capacity {}",
+            self.capacity
+        );
+        let w = id / 64;
+        let bit = 1u64 << (id % 64);
+        if self.words[w] & bit != 0 {
+            return false;
+        }
+        self.words[w] |= bit;
+        self.summary[w / 64] |= 1u64 << (w % 64);
+        self.len += 1;
+        true
+    }
+
+    /// Removes `id`; returns true when it was a member.
+    pub fn remove(&mut self, id: usize) -> bool {
+        debug_assert!(
+            id < self.capacity,
+            "id {id} out of capacity {}",
+            self.capacity
+        );
+        let w = id / 64;
+        let bit = 1u64 << (id % 64);
+        if self.words[w] & bit == 0 {
+            return false;
+        }
+        self.words[w] &= !bit;
+        if self.words[w] == 0 {
+            self.summary[w / 64] &= !(1u64 << (w % 64));
+        }
+        self.len -= 1;
+        true
+    }
+
+    /// Inserts or removes `id` according to `member`.
+    pub fn set(&mut self, id: usize, member: bool) {
+        if member {
+            self.insert(id);
+        } else {
+            self.remove(id);
+        }
+    }
+
+    /// Empties the set. Costs O(populated words), not O(capacity).
+    pub fn clear(&mut self) {
+        for si in 0..self.summary.len() {
+            let mut s = self.summary[si];
+            while s != 0 {
+                let w = si * 64 + s.trailing_zeros() as usize;
+                self.words[w] = 0;
+                s &= s - 1;
+            }
+            self.summary[si] = 0;
+        }
+        self.len = 0;
+    }
+
+    /// Iterates members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.summary.iter().enumerate().flat_map(move |(si, &s)| {
+            let mut s = s;
+            std::iter::from_fn(move || {
+                if s == 0 {
+                    return None;
+                }
+                let w = si * 64 + s.trailing_zeros() as usize;
+                s &= s - 1;
+                Some(w)
+            })
+            .flat_map(move |w| {
+                let mut bits = self.words[w];
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        return None;
+                    }
+                    let id = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(id)
+                })
+            })
+        })
+    }
+
+    /// Collects the members, ascending, into `out` (cleared first).
+    ///
+    /// Convenience for callers that need to mutate the owner while
+    /// walking the membership.
+    pub fn drain_into(&mut self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.iter());
+        self.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ActiveSet::new(300);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(299));
+        assert!(!s.insert(64), "double insert reports absent");
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(63) && s.contains(299) && !s.contains(1));
+        assert!(s.remove(63));
+        assert!(!s.remove(63));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 64, 299]);
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_complete() {
+        let mut s = ActiveSet::new(10_000);
+        let ids = [9_999, 0, 4_096, 127, 128, 5_000, 65];
+        for &i in &ids {
+            s.insert(i);
+        }
+        let mut expect: Vec<usize> = ids.to_vec();
+        expect.sort_unstable();
+        assert_eq!(s.iter().collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = ActiveSet::new(8_192);
+        for i in (0..8_192).step_by(7) {
+            s.insert(i);
+        }
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        assert!(s.insert(8_191));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![8_191]);
+    }
+
+    #[test]
+    fn set_matches_insert_remove() {
+        let mut s = ActiveSet::new(64);
+        s.set(5, true);
+        assert!(s.contains(5));
+        s.set(5, false);
+        assert!(!s.contains(5));
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn drain_into_empties_the_set() {
+        let mut s = ActiveSet::new(200);
+        s.insert(3);
+        s.insert(150);
+        let mut out = Vec::new();
+        s.drain_into(&mut out);
+        assert_eq!(out, vec![3, 150]);
+        assert!(s.is_empty());
+    }
+}

@@ -10,6 +10,9 @@
 //!   from the *previous* cycle's outputs, then all registers commit
 //!   simultaneously ([`Register`], [`Clocked`]),
 //! * deterministic random sources ([`rng::SimRng`]),
+//! * event-driven scheduling primitives for the structure-of-arrays NoC
+//!   kernel: two-level activity bitmaps ([`active::ActiveSet`]) and an
+//!   exact-horizon timer wheel ([`wheel::EventWheel`]),
 //! * versioned, integrity-hashed state snapshots for checkpoint/restore
 //!   ([`snapshot`]),
 //! * deterministic fan-out of independent seeded runs ([`parallel`]),
@@ -50,6 +53,7 @@
 //! assert_eq!(c.value.get(), 5);
 //! ```
 
+pub mod active;
 pub mod attribution;
 pub mod faults;
 pub mod json;
@@ -61,7 +65,9 @@ pub mod stats;
 pub mod telemetry;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
+pub use active::ActiveSet;
 pub use attribution::{
     AttributionDiff, AttributionEngine, AttributionSummary, ChannelConsumer, ChannelInfo, Phase,
 };
@@ -76,3 +82,4 @@ pub use telemetry::{
     TraceEventKind,
 };
 pub use time::Cycle;
+pub use wheel::{EventId, EventWheel};

@@ -161,6 +161,17 @@ pub struct Topology {
     nis: Vec<NiAttachment>,
     /// (switch, port) pairs already in use, for conflict detection.
     used_ports: HashSet<(SwitchId, PortId)>,
+    /// Per-switch indices into `links` of the edges leaving that switch.
+    /// Keeps [`Topology::out_links`] O(degree) instead of O(links) — the
+    /// difference between milliseconds and minutes when validating and
+    /// routing a 64x64 mesh.
+    out_adj: Vec<Vec<usize>>,
+    /// Output-direction port occupancy ((from, from_port) of some link).
+    out_ports: HashSet<(SwitchId, PortId)>,
+    /// Input-direction port occupancy ((to, to_port) of some link).
+    in_ports: HashSet<(SwitchId, PortId)>,
+    /// Ports taken by NI attachments.
+    ni_ports: HashSet<(SwitchId, PortId)>,
 }
 
 impl Topology {
@@ -173,6 +184,7 @@ impl Topology {
     pub fn add_switch(&mut self, name: impl Into<String>) -> SwitchId {
         let id = SwitchId(self.switch_names.len());
         self.switch_names.push(name.into());
+        self.out_adj.push(Vec::new());
         id
     }
 
@@ -195,29 +207,19 @@ impl Topology {
         self.check_switch(to)?;
         Self::check_port(from_port)?;
         Self::check_port(to_port)?;
-        if self
-            .links
-            .iter()
-            .any(|l| l.from == from && l.from_port == from_port)
-        {
+        if self.out_ports.contains(&(from, from_port)) {
             return Err(TopologyError::PortConflict {
                 switch: from,
                 port: from_port,
             });
         }
-        if self
-            .links
-            .iter()
-            .any(|l| l.to == to && l.to_port == to_port)
-        {
+        if self.in_ports.contains(&(to, to_port)) {
             return Err(TopologyError::PortConflict {
                 switch: to,
                 port: to_port,
             });
         }
-        if self.nis.iter().any(|ni| {
-            (ni.switch == from && ni.port == from_port) || (ni.switch == to && ni.port == to_port)
-        }) {
+        if self.ni_ports.contains(&(from, from_port)) || self.ni_ports.contains(&(to, to_port)) {
             return Err(TopologyError::PortConflict {
                 switch: from,
                 port: from_port,
@@ -225,6 +227,9 @@ impl Topology {
         }
         self.used_ports.insert((from, from_port));
         self.used_ports.insert((to, to_port));
+        self.out_ports.insert((from, from_port));
+        self.in_ports.insert((to, to_port));
+        self.out_adj[from.0].push(self.links.len());
         self.links.push(LinkEdge {
             from,
             from_port,
@@ -265,15 +270,11 @@ impl Topology {
     ) -> Result<NiId, TopologyError> {
         self.check_switch(switch)?;
         Self::check_port(port)?;
-        if self.used_ports.contains(&(switch, port))
-            || self
-                .nis
-                .iter()
-                .any(|ni| ni.switch == switch && ni.port == port)
-        {
+        if self.used_ports.contains(&(switch, port)) || self.ni_ports.contains(&(switch, port)) {
             return Err(TopologyError::PortConflict { switch, port });
         }
         let ni = NiId(self.nis.len());
+        self.ni_ports.insert((switch, port));
         self.nis.push(NiAttachment {
             ni,
             name: name.into(),
@@ -299,10 +300,7 @@ impl Topology {
         for p in 0..=PortId::MAX {
             let port = PortId(p);
             let used = self.used_ports.contains(&(switch, port))
-                || self
-                    .nis
-                    .iter()
-                    .any(|ni| ni.switch == switch && ni.port == port);
+                || self.ni_ports.contains(&(switch, port));
             if !used {
                 return self.attach_ni(name, kind, switch, port);
             }
@@ -331,6 +329,10 @@ impl Topology {
     }
 
     /// Mutable access to link edges (floorplanner updates lengths).
+    ///
+    /// Only `length_mm` and `pipeline_stages` may be changed: rewiring
+    /// endpoints or ports here would desynchronise the adjacency index
+    /// that backs [`Topology::out_links`].
     pub fn links_mut(&mut self) -> &mut [LinkEdge] {
         &mut self.links
     }
@@ -374,9 +376,13 @@ impl Topology {
         ports.len()
     }
 
-    /// Out-edges of a switch.
+    /// Out-edges of a switch, via the per-switch adjacency index.
     pub fn out_links(&self, id: SwitchId) -> impl Iterator<Item = &LinkEdge> {
-        self.links.iter().filter(move |l| l.from == id)
+        self.out_adj
+            .get(id.0)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.links[i])
     }
 
     /// Shortest switch-to-switch path by hop count (BFS). Returns the
@@ -421,21 +427,49 @@ impl Topology {
         if self.switch_names.is_empty() {
             return Ok(());
         }
-        for from in self.switches() {
-            let mut seen = HashSet::new();
-            seen.insert(from);
-            let mut queue = VecDeque::from([from]);
-            while let Some(s) = queue.pop_front() {
-                for l in self.out_links(s) {
-                    if seen.insert(l.to) {
-                        queue.push_back(l.to);
-                    }
+        // Strong connectivity in two BFS passes instead of one per
+        // switch: every node reaches every other node iff some root
+        // reaches all (forward pass) and all reach the root (reverse
+        // pass). O(V + E) twice — the all-sources scan was O(V²·E) and
+        // took minutes on a 64x64 mesh.
+        let root = SwitchId(0);
+        let mut seen = vec![false; self.switch_names.len()];
+        seen[root.0] = true;
+        let mut queue = VecDeque::from([root]);
+        while let Some(s) = queue.pop_front() {
+            for l in self.out_links(s) {
+                if !seen[l.to.0] {
+                    seen[l.to.0] = true;
+                    queue.push_back(l.to);
                 }
             }
-            if seen.len() != self.switch_names.len() {
-                let unreachable = self.switches().find(|s| !seen.contains(s)).expect("some");
-                return Err(TopologyError::Disconnected { from, unreachable });
+        }
+        if let Some(u) = seen.iter().position(|&v| !v) {
+            return Err(TopologyError::Disconnected {
+                from: root,
+                unreachable: SwitchId(u),
+            });
+        }
+        let mut in_adj: Vec<Vec<SwitchId>> = vec![Vec::new(); self.switch_names.len()];
+        for l in &self.links {
+            in_adj[l.to.0].push(l.from);
+        }
+        let mut seen = vec![false; self.switch_names.len()];
+        seen[root.0] = true;
+        let mut queue = VecDeque::from([root]);
+        while let Some(s) = queue.pop_front() {
+            for &from in &in_adj[s.0] {
+                if !seen[from.0] {
+                    seen[from.0] = true;
+                    queue.push_back(from);
+                }
             }
+        }
+        if let Some(u) = seen.iter().position(|&v| !v) {
+            return Err(TopologyError::Disconnected {
+                from: SwitchId(u),
+                unreachable: root,
+            });
         }
         Ok(())
     }

@@ -24,6 +24,23 @@ pub enum Pattern {
     },
     /// Destination = (source + 1) mod targets.
     Neighbor,
+    /// Tile-local uniform: source `s` owns the `targets_per_tile`
+    /// consecutive targets starting at `s * targets_per_tile` and picks
+    /// uniformly among them. The large-fabric pattern: keeps every route
+    /// inside the source's tile (and inside the 7-hop source-route
+    /// budget) however big the mesh grows.
+    TileUniform {
+        /// Tile-local targets owned by each source.
+        targets_per_tile: usize,
+    },
+    /// Tile-local hotspot: a fraction of traffic goes to the tile's
+    /// first target, the rest uniform within the tile.
+    TileHotspot {
+        /// Tile-local targets owned by each source.
+        targets_per_tile: usize,
+        /// Fraction of packets sent to the tile's first target (0..=1).
+        fraction: f64,
+    },
 }
 
 impl Pattern {
@@ -54,6 +71,21 @@ impl Pattern {
                 }
             }
             Pattern::Neighbor => (src + 1) % targets,
+            Pattern::TileUniform { targets_per_tile } => {
+                let (base, span) = tile_window(src, targets_per_tile, targets);
+                base + rng.below(span)
+            }
+            Pattern::TileHotspot {
+                targets_per_tile,
+                fraction,
+            } => {
+                let (base, span) = tile_window(src, targets_per_tile, targets);
+                if rng.chance(fraction) {
+                    base
+                } else {
+                    base + rng.below(span)
+                }
+            }
         }
     }
 
@@ -65,8 +97,21 @@ impl Pattern {
             Pattern::BitComplement => "bit-complement",
             Pattern::Hotspot { .. } => "hotspot",
             Pattern::Neighbor => "neighbor",
+            Pattern::TileUniform { .. } => "tile-uniform",
+            Pattern::TileHotspot { .. } => "tile-hotspot",
         }
     }
+}
+
+/// The `(base, span)` slice of the target set owned by tile-local
+/// source `src`: `targets_per_tile` consecutive targets starting at
+/// `src * targets_per_tile`, clipped to the target count so a
+/// mis-sized mapping degrades to in-range destinations instead of
+/// panicking.
+fn tile_window(src: usize, targets_per_tile: usize, targets: usize) -> (usize, usize) {
+    let tpt = targets_per_tile.max(1);
+    let base = (src * tpt) % targets;
+    (base, tpt.min(targets - base))
 }
 
 #[cfg(test)]
@@ -155,5 +200,55 @@ mod tests {
     #[should_panic(expected = "at least one target")]
     fn zero_targets_panics() {
         Pattern::Uniform.destination(0, 0, &mut SimRng::seed(0));
+    }
+
+    #[test]
+    fn tile_uniform_stays_in_tile_and_covers_it() {
+        let mut rng = SimRng::seed(5);
+        let p = Pattern::TileUniform {
+            targets_per_tile: 4,
+        };
+        for src in 0..4 {
+            let mut seen = [false; 4];
+            for _ in 0..200 {
+                let d = p.destination(src, 16, &mut rng);
+                assert!(
+                    (src * 4..src * 4 + 4).contains(&d),
+                    "src {src} escaped its tile: {d}"
+                );
+                seen[d - src * 4] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "src {src} missed a tile target");
+        }
+    }
+
+    #[test]
+    fn tile_hotspot_concentrates_on_tile_head() {
+        let mut rng = SimRng::seed(6);
+        let p = Pattern::TileHotspot {
+            targets_per_tile: 4,
+            fraction: 0.8,
+        };
+        let hits = (0..1000)
+            .filter(|_| p.destination(2, 16, &mut rng) == 8)
+            .count();
+        assert!(hits > 700, "tile hotspot hits {hits}");
+        for _ in 0..200 {
+            let d = p.destination(2, 16, &mut rng);
+            assert!((8..12).contains(&d), "escaped tile: {d}");
+        }
+    }
+
+    #[test]
+    fn tile_window_clips_at_the_target_count() {
+        let mut rng = SimRng::seed(7);
+        let p = Pattern::TileUniform {
+            targets_per_tile: 4,
+        };
+        for _ in 0..100 {
+            // 2 targets per tile short: the window clips in range.
+            let d = p.destination(3, 14, &mut rng);
+            assert!(d < 14);
+        }
     }
 }

@@ -14,7 +14,8 @@
 
 use xpipes::monitor::MonitorConfig;
 use xpipes::noc::{Noc, TelemetryConfig};
-use xpipes_sim::{FaultPlan, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
+use xpipes_ocp::Request;
+use xpipes_sim::{FaultPlan, SimRng, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use xpipes_traffic::faultcampaign::{
     assemble_report, campaign_spec, run_campaign, run_campaign_parallel, run_grid_point,
     CampaignConfig, CompletedPoint,
@@ -229,6 +230,114 @@ fn damaged_snapshots_are_rejected() {
 
     // The original network still restores the intact container.
     noc.restore(&good).expect("intact container still restores");
+}
+
+/// Drives deterministic offered load over absolute cycles `[from, to)`
+/// with the supplied kernel stepper. Unlike [`run_span`] this does not
+/// go through the `Injector` (whose `step` hardwires the production
+/// kernel), so the same schedule can be replayed under either kernel.
+fn manual_span(noc: &mut Noc, rng: &mut SimRng, from: u64, to: u64, step: fn(&mut Noc)) {
+    let spec = campaign_spec();
+    let initiators: Vec<_> = spec
+        .topology
+        .nis_of_kind(xpipes_topology::NiKind::Initiator)
+        .map(|a| a.ni)
+        .collect();
+    let windows: Vec<_> = spec
+        .topology
+        .nis_of_kind(xpipes_topology::NiKind::Target)
+        .map(|a| {
+            let r = spec.range_of(a.ni).expect("target mapped");
+            (r.base, r.size)
+        })
+        .collect();
+    for cycle in from..to {
+        for &ni in &initiators {
+            if !rng.chance(0.05) {
+                continue;
+            }
+            let (base, size) = windows[rng.below(windows.len())];
+            let addr = base + (rng.next_u64() % (size / 8).max(1)) * 8;
+            let req = if rng.chance(0.5) {
+                Request::read(addr, 4)
+            } else {
+                Request::write(addr, (0..4u64).collect())
+            };
+            if let Ok(r) = req {
+                let _ = noc.submit(ni, r);
+            }
+        }
+        step(noc);
+        if cycle % 512 == 511 {
+            for &ni in &initiators {
+                while let Ok(Some(_)) = noc.take_response(ni) {}
+            }
+        }
+    }
+}
+
+/// Cross-kernel restore: a snapshot written at cycle C by a network
+/// stepped with the **reference** full-scan kernel restores into a fresh
+/// network that continues under the **event-wheel** kernel, and the
+/// continuation is byte-identical to an uninterrupted event-kernel run.
+/// The snapshot carries only architectural state — the event schedule is
+/// rebuilt from it, so kernel choice before the checkpoint must be
+/// unobservable after it.
+#[test]
+fn reference_kernel_checkpoint_restores_into_event_kernel() {
+    const SPLIT: u64 = 1700;
+    let observe = |mut noc: Noc| {
+        noc.flush_telemetry();
+        let stats = noc.stats();
+        (
+            stats.cycles,
+            stats.packets_delivered,
+            stats.flits_routed,
+            stats.retransmissions,
+            noc.timeline_json().expect("timeline enabled"),
+            noc.attribution_report()
+                .expect("attribution enabled")
+                .render(),
+            fnv64(&noc.checkpoint()),
+        )
+    };
+    let fresh = || {
+        let mut noc =
+            Noc::with_faults(&campaign_spec(), SEED, &reference_plan()).expect("assembles");
+        noc.enable_telemetry(TelemetryConfig::full());
+        noc.enable_attribution();
+        noc
+    };
+
+    // Uninterrupted run, production kernel throughout.
+    let mut noc = fresh();
+    let mut rng = SimRng::seed(SEED ^ 0xD1FF);
+    manual_span(&mut noc, &mut rng, 0, TOTAL_CYCLES, Noc::step);
+    let uninterrupted = observe(noc);
+
+    // Reference kernel to the split, snapshot both the network and the
+    // load generator, then restore and continue under the event kernel.
+    let mut noc = fresh();
+    let mut rng = SimRng::seed(SEED ^ 0xD1FF);
+    manual_span(&mut noc, &mut rng, 0, SPLIT, Noc::step_reference);
+    let noc_bytes = noc.checkpoint();
+    let mut w = SnapshotWriter::new();
+    w.rng(&rng);
+    let rng_bytes = w.finish();
+    drop(noc);
+
+    let mut noc = fresh();
+    noc.restore(&noc_bytes).expect("restores");
+    let mut r = SnapshotReader::open(&rng_bytes).expect("opens");
+    let mut rng = r.rng().expect("loads");
+    r.finish().expect("no trailing bytes");
+    manual_span(&mut noc, &mut rng, SPLIT, TOTAL_CYCLES, Noc::step);
+    let resumed = observe(noc);
+
+    assert_eq!(
+        resumed, uninterrupted,
+        "reference-kernel snapshot diverged under event-kernel continuation"
+    );
 }
 
 /// A campaign killed part-way and resumed from its journal produces a
