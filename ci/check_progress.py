@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""CI progress-smoke validator.
+
+Checks a `cycle_engine --progress` NDJSON heartbeat stream against the
+JSON report the same run wrote:
+
+  * every line is a standalone well-formed JSON object;
+  * every workload ends with exactly one final line
+    (`"phase": "done"`, `"final": true`);
+  * each final line's deterministic totals (cycle, packets_delivered,
+    event/fallback step counts) match the report's entry for that
+    workload byte-for-value.
+
+Usage: check_progress.py PROGRESS.ndjson REPORT.json
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_progress: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail("usage: check_progress.py PROGRESS.ndjson REPORT.json")
+    progress_path, report_path = sys.argv[1], sys.argv[2]
+
+    finals = {}
+    lines = 0
+    with open(progress_path, encoding="utf-8") as f:
+        for n, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                fail(f"{progress_path}:{n}: blank line in NDJSON stream")
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{progress_path}:{n}: not valid JSON: {e}")
+            if not isinstance(obj, dict):
+                fail(f"{progress_path}:{n}: line is not a JSON object")
+            lines += 1
+            if obj.get("final"):
+                if obj.get("phase") != "done":
+                    fail(f"{progress_path}:{n}: final line phase is "
+                         f"{obj.get('phase')!r}, expected 'done'")
+                w = obj.get("workload")
+                if w in finals:
+                    fail(f"{progress_path}:{n}: duplicate final line for {w}")
+                finals[w] = obj
+    if lines == 0:
+        fail(f"{progress_path} is empty")
+    if not finals:
+        fail(f"{progress_path} has no final line")
+
+    with open(report_path, encoding="utf-8") as f:
+        report = json.load(f)
+    workloads = report.get("workloads")
+    if not workloads:
+        fail(f"{report_path} has no workloads")
+
+    for entry in workloads:
+        name = entry["name"]
+        if name not in finals:
+            fail(f"no final progress line for workload {name}")
+        last = finals.pop(name)
+        checks = [
+            ("cycle", entry["cycles"]),
+            ("packets_delivered", entry["packets_delivered"]),
+            ("flits_routed", entry["flits_routed"]),
+            ("event_steps", entry["kernel_health"]["event_steps"]),
+            ("fallback_steps", entry["kernel_health"]["fallback_steps"]),
+        ]
+        for key, want in checks:
+            got = last.get(key)
+            if got != want:
+                fail(f"{name}: final line {key}={got!r} but report says {want!r}")
+    if finals:
+        fail(f"progress stream has final lines for unknown workloads: "
+             f"{sorted(finals)}")
+    print(f"check_progress: ok ({lines} lines, "
+          f"{len(workloads)} workloads matched)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+//! Shared baseline-artifact loading for the bench binaries.
+//!
+//! Both `cycle_engine --check` and `checkpoint_bench --check` read a
+//! previously recorded JSON report and validate its syntax before
+//! comparing against it. The error contract is one line on stderr
+//! (prefixed `error: ` by the caller) followed by exit code 2, the
+//! bins' shared usage-error convention.
+
+use xpipes_sim::Json;
+
+/// Reads and syntax-validates a baseline JSON artifact, returning the
+/// raw text for the caller's positional field scanning.
+///
+/// # Errors
+///
+/// A one-line message (`cannot read baseline …` or `baseline … is not
+/// valid JSON: …`); the caller prints it with the `error: ` prefix and
+/// exits 2.
+pub fn load_baseline(path: &str) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("baseline {path} is not valid JSON: {e}"))?;
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str, body: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("xpipes_baseline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, body).unwrap();
+        path
+    }
+
+    #[test]
+    fn valid_baseline_round_trips() {
+        let path = tmp("ok.json", "{\"speedup\": 2.5}\n");
+        let text = load_baseline(path.to_str().unwrap()).unwrap();
+        assert!(text.contains("speedup"));
+    }
+
+    #[test]
+    fn missing_file_reports_one_line() {
+        let err = load_baseline("/nonexistent/xpipes-baseline.json").unwrap_err();
+        assert!(err.starts_with("cannot read baseline"), "{err}");
+        assert!(!err.contains('\n'));
+    }
+
+    #[test]
+    fn invalid_json_reports_one_line() {
+        let path = tmp("bad.json", "{not json");
+        let err = load_baseline(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("is not valid JSON"), "{err}");
+        assert!(!err.contains('\n'));
+    }
+}

@@ -8,19 +8,24 @@
 //! the warm-start advantage shrank beyond the tolerance — the CI gate
 //! that keeps checkpoint restore cheap.
 //!
+//! `--progress PATH` streams stage-level NDJSON heartbeats (cold sweep,
+//! warm-up, warm sweep, final speedup) to PATH, or stderr for `-`.
+//!
 //! ```text
 //! checkpoint_bench
 //! checkpoint_bench --warmup 8000 --window 4000 --rates 0.01,0.03,0.05
 //! checkpoint_bench --check BENCH_checkpoint.json --tolerance 0.25
+//! checkpoint_bench --progress progress.ndjson
 //! ```
 
 use std::process::ExitCode;
 
+use xpipes_bench::baseline::load_baseline;
 use xpipes_bench::checkpoint::{
-    checkpoint_bench_json, parse_speedup, run_checkpoint_bench, DEFAULT_RATES, DEFAULT_SEED,
-    DEFAULT_WARMUP, DEFAULT_WINDOW,
+    checkpoint_bench_json, parse_speedup, run_checkpoint_bench_observed, DEFAULT_RATES,
+    DEFAULT_SEED, DEFAULT_WARMUP, DEFAULT_WINDOW,
 };
-use xpipes_sim::Json;
+use xpipes_bench::ProgressStream;
 
 struct Args {
     rates: Vec<f64>,
@@ -30,6 +35,7 @@ struct Args {
     out: String,
     check: Option<String>,
     tolerance: f64,
+    progress: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         out: "BENCH_checkpoint.json".to_string(),
         check: None,
         tolerance: 0.25,
+        progress: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -78,10 +85,12 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --tolerance: {e}"))?;
             }
+            "--progress" => args.progress = Some(value("--progress")?),
             "--help" | "-h" => {
                 println!(
                     "usage: checkpoint_bench [--rates R,..] [--warmup N] [--window N] \
-                     [--seed N] [--out PATH] [--check BASELINE.json] [--tolerance F]"
+                     [--seed N] [--out PATH] [--check BASELINE.json] [--tolerance F] \
+                     [--progress PATH]"
                 );
                 std::process::exit(0);
             }
@@ -99,7 +108,23 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let bench = match run_checkpoint_bench(&args.rates, args.warmup, args.window, args.seed) {
+    let mut progress: Option<ProgressStream> = match &args.progress {
+        Some(path) => match ProgressStream::create(path) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("error: cannot open progress sink {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let bench = match run_checkpoint_bench_observed(
+        &args.rates,
+        args.warmup,
+        args.window,
+        args.seed,
+        progress.as_mut(),
+    ) {
         Ok(b) => b,
         Err(e) => {
             eprintln!("error: benchmark failed: {e}");
@@ -121,17 +146,13 @@ fn main() -> ExitCode {
     // itself.
     let check = match &args.check {
         Some(path) => {
-            let baseline = match std::fs::read_to_string(path) {
+            let baseline = match load_baseline(path) {
                 Ok(t) => t,
                 Err(e) => {
-                    eprintln!("error: cannot read baseline {path}: {e}");
+                    eprintln!("error: {e}");
                     return ExitCode::from(2);
                 }
             };
-            if let Err(e) = Json::parse(&baseline) {
-                eprintln!("error: baseline {path} is not valid JSON: {e}");
-                return ExitCode::from(2);
-            }
             let Some(base) = parse_speedup(&baseline) else {
                 eprintln!("error: baseline {path} has no speedup entry");
                 return ExitCode::from(2);

@@ -32,6 +32,15 @@
 //! routed, packets delivered — no wall-clock) so a resumed run can be
 //! byte-diffed against an uninterrupted one.
 //!
+//! Observability flags: `--progress PATH` streams an NDJSON heartbeat
+//! (cycle position, cycles/s, delivered packets, kernel-mode mix, ETA)
+//! to PATH — or stderr for `-` — every `--progress-every N` cycles
+//! (default 5000); `--explain-kernel` prints each workload's
+//! kernel-health table (dispatch mix, fallback-reason histogram, wheel
+//! depth, time jumps); `--profile` arms the wall-clock kernel phase
+//! profiler and prints the per-phase breakdown. None of these change
+//! any byte-compared artifact.
+//!
 //! ```text
 //! cycle_engine --cycles 200000
 //! cycle_engine --cycles 50000 --check BENCH_cycle_engine.json --tolerance 0.2
@@ -41,17 +50,21 @@
 //! cycle_engine --cycles 50000 --attribution --diff BENCH_attribution.json
 //! cycle_engine --workload uniform_random_4x4 --checkpoint ck.bin --checkpoint-at 20000
 //! cycle_engine --cycles 50000 --restore ck.bin --fingerprint-out fp.json
+//! cycle_engine --cycles 50000 --telemetry --progress progress.ndjson --explain-kernel
+//! cycle_engine --cycles 50000 --profile
 //! ```
 
 use std::process::ExitCode;
 
 use xpipes::noc::TelemetryConfig;
+use xpipes_bench::baseline::load_baseline;
 use xpipes_bench::cycle_engine::{
     attribution_bench_json, checkpoint_workload, diff_attribution_bench, fingerprint_json,
     measure_attribution_overhead, measure_telemetry_overhead, parse_cycles_per_sec, report_json,
-    resume_workload, run_workload, run_workload_attributed, run_workload_instrumented, Workload,
-    WorkloadResult, DEFAULT_CYCLES,
+    resume_workload_observed, run_workload_observed, RunOptions, Workload, WorkloadResult,
+    DEFAULT_CYCLES,
 };
+use xpipes_bench::ProgressStream;
 use xpipes_sim::Json;
 
 struct Args {
@@ -73,6 +86,10 @@ struct Args {
     checkpoint_at: Option<u64>,
     restore: Option<String>,
     fingerprint_out: Option<String>,
+    progress: Option<String>,
+    progress_every: Option<u64>,
+    explain_kernel: bool,
+    profile: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -94,6 +111,10 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_at: None,
         restore: None,
         fingerprint_out: None,
+        progress: None,
+        progress_every: None,
+        explain_kernel: false,
+        profile: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -142,6 +163,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--restore" => args.restore = Some(value("--restore")?),
             "--fingerprint-out" => args.fingerprint_out = Some(value("--fingerprint-out")?),
+            "--progress" => args.progress = Some(value("--progress")?),
+            "--progress-every" => {
+                args.progress_every = Some(
+                    value("--progress-every")?
+                        .parse()
+                        .map_err(|e| format!("bad --progress-every: {e}"))?,
+                );
+            }
+            "--explain-kernel" => args.explain_kernel = true,
+            "--profile" => args.profile = true,
             "--help" | "-h" => {
                 println!(
                     "usage: cycle_engine [--cycles N] [--out PATH] \
@@ -150,7 +181,9 @@ fn parse_args() -> Result<Args, String> {
                      [--max-telemetry-overhead F] [--attribution] \
                      [--attribution-out PATH] [--diff BASELINE.json] \
                      [--workload NAME] [--checkpoint PATH --checkpoint-at N] \
-                     [--restore PATH] [--fingerprint-out PATH]"
+                     [--restore PATH] [--fingerprint-out PATH] \
+                     [--progress PATH] [--progress-every N] \
+                     [--explain-kernel] [--profile]"
                 );
                 std::process::exit(0);
             }
@@ -228,6 +261,22 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    // The NDJSON heartbeat sink is shared by every timed run in this
+    // invocation (restore or workload loop alike).
+    let mut progress: Option<ProgressStream> = match &args.progress {
+        Some(path) => match ProgressStream::create(path) {
+            Ok(p) => Some(match args.progress_every {
+                Some(n) => p.with_interval(n),
+                None => p,
+            }),
+            Err(e) => {
+                eprintln!("error: cannot open progress sink {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+
     // Restore mode: resume the saved state to --cycles, then fall
     // through to the normal report/fingerprint/check plumbing with the
     // single resumed result.
@@ -239,7 +288,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        match resume_workload(&bytes, args.cycles) {
+        match resume_workload_observed(&bytes, args.cycles, progress.as_mut()) {
             Ok(r) => {
                 println!(
                     "{:<20} {:>12.0} cycles/s  {:>12.0} flits/s  ({} cycles in {:.3}s, resumed)",
@@ -270,45 +319,52 @@ fn main() -> ExitCode {
         // large-fabric workloads run via explicit `--workload` flags.
         vec![Workload::UniformRandom, Workload::Hotspot]
     };
+    let opts = RunOptions {
+        telemetry: instrument.then(|| telemetry_config(&args)),
+        attribution: args.attribution,
+        profile: args.profile,
+    };
     let mut results: Vec<WorkloadResult> = restored.into_iter().collect();
     let mut attribution_reports: Vec<(&'static str, Json)> = Vec::new();
     for w in workloads {
-        let run = if args.attribution {
-            run_workload_attributed(w, args.cycles).map(|a| {
-                attribution_reports.push((w.name(), a.attribution));
-                Ok(a.result)
-            })
-        } else if instrument {
-            run_workload_instrumented(w, args.cycles, telemetry_config(&args)).map(|inst| {
-                // Artifacts come from the uniform-random workload (the
-                // canonical reference); the hotspot run just exercises
-                // the instrumented engine.
-                if w == Workload::UniformRandom {
-                    if let (Some(path), Some(body)) = (&args.timeline, &inst.timeline_json) {
-                        write_artifact(path, "timeline", body)?;
-                    }
-                    if let (Some(path), Some(body)) = (&args.perfetto, &inst.perfetto_json) {
-                        write_artifact(path, "perfetto trace", body)?;
-                    }
-                }
-                Ok(inst.result)
-            })
-        } else {
-            run_workload(w, args.cycles).map(Ok)
-        };
-        match run {
-            Ok(Ok(r)) => {
-                println!(
-                    "{:<20} {:>12.0} cycles/s  {:>12.0} flits/s  ({} cycles in {:.3}s)",
-                    r.name, r.cycles_per_sec, r.flits_per_sec, r.cycles, r.elapsed_s
-                );
-                results.push(r);
-            }
-            Ok(Err(code)) => return code,
+        let obs = match run_workload_observed(w, args.cycles, &opts, progress.as_mut()) {
+            Ok(obs) => obs,
             Err(e) => {
                 eprintln!("error: workload {} failed: {e}", w.name());
                 return ExitCode::from(2);
             }
+        };
+        // Artifacts come from the uniform-random workload (the
+        // canonical reference); the hotspot run just exercises the
+        // instrumented engine.
+        if w == Workload::UniformRandom {
+            if let (Some(path), Some(body)) = (&args.timeline, &obs.timeline_json) {
+                if let Err(code) = write_artifact(path, "timeline", body) {
+                    return code;
+                }
+            }
+            if let (Some(path), Some(body)) = (&args.perfetto, &obs.perfetto_json) {
+                if let Err(code) = write_artifact(path, "perfetto trace", body) {
+                    return code;
+                }
+            }
+        }
+        if let Some(a) = obs.attribution {
+            attribution_reports.push((w.name(), a));
+        }
+        if let Some(profile) = &obs.kernel_profile {
+            println!("kernel profile — {}:\n{}", w.name(), profile.render());
+        }
+        let r = obs.result;
+        println!(
+            "{:<20} {:>12.0} cycles/s  {:>12.0} flits/s  ({} cycles in {:.3}s)",
+            r.name, r.cycles_per_sec, r.flits_per_sec, r.cycles, r.elapsed_s
+        );
+        results.push(r);
+    }
+    if args.explain_kernel {
+        for r in &results {
+            println!("kernel health — {}:\n{}", r.name, r.kernel_health.render());
         }
     }
     let report = report_json(&results).render();
@@ -350,17 +406,13 @@ fn main() -> ExitCode {
         }
     }
     if let Some(path) = args.check {
-        let baseline = match std::fs::read_to_string(&path) {
+        let baseline = match load_baseline(&path) {
             Ok(t) => t,
             Err(e) => {
-                eprintln!("error: cannot read baseline {path}: {e}");
+                eprintln!("error: {e}");
                 return ExitCode::from(2);
             }
         };
-        if let Err(e) = Json::parse(&baseline) {
-            eprintln!("error: baseline {path} is not valid JSON: {e}");
-            return ExitCode::from(2);
-        }
         let mut regressed = false;
         for r in &results {
             let Some(base) = parse_cycles_per_sec(&baseline, r.name) else {

@@ -22,23 +22,31 @@
 //! `xpipes_traffic::faultcampaign::WarmStart` for how this measurement
 //! protocol differs from a cold campaign).
 //!
+//! `--progress PATH` streams a per-grid-point NDJSON status journal
+//! (index, fault, rate, pass/fail, deterministic run counters) to PATH
+//! — or stderr for `-` — as points complete. Every field is a pure
+//! function of the seed and grid index, so the journal is
+//! byte-identical across `--jobs` worker counts.
+//!
 //! ```text
 //! faultcampaign --faults all --cycles 20000 --seed 7
 //! faultcampaign --faults ack-loss,output-stall --rates 0.01,0.05 --out report.json
 //! faultcampaign --jobs 1   # force serial execution
 //! faultcampaign --resume journal/ --checkpoint-every 2 --out report.json
 //! faultcampaign --warm-start 4000 --resume journal/
+//! faultcampaign --progress progress.ndjson
 //! ```
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use xpipes_bench::ProgressStream;
 use xpipes_sim::parallel::{parallel_map_ordered, worker_count};
 use xpipes_sim::{FaultKind, Json};
 use xpipes_traffic::faultcampaign::{
-    assemble_report, campaign_spec, config_fingerprint, grid_size, run_campaign_parallel,
-    run_campaign_warm_parallel, run_grid_point, warm_checkpoint, CampaignConfig, CompletedPoint,
-    WarmStart,
+    assemble_report, campaign_spec, config_fingerprint, grid_size, progress_line,
+    run_campaign_parallel, run_campaign_streaming, run_campaign_warm_parallel, run_grid_point,
+    warm_checkpoint, CampaignConfig, CompletedPoint, WarmStart,
 };
 
 struct Args {
@@ -52,6 +60,7 @@ struct Args {
     resume: Option<PathBuf>,
     checkpoint_every: u64,
     warm_start: u64,
+    progress: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -66,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         resume: None,
         checkpoint_every: 0,
         warm_start: 0,
+        progress: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -137,12 +147,13 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--warm-start must be at least 1 cycle".into());
                 }
             }
+            "--progress" => args.progress = Some(value("--progress")?),
             "--help" | "-h" => {
                 println!(
                     "usage: faultcampaign [--faults all|NAME,..] [--cycles N] \
                      [--seed N] [--rates R,..] [--out PATH] [--jobs N] \
                      [--flight-depth N] [--resume DIR] [--checkpoint-every N] \
-                     [--warm-start CYCLES]\n\
+                     [--warm-start CYCLES] [--progress PATH]\n\
                      fault models: {}",
                     FaultKind::ALL.map(|k| k.name()).join(", ")
                 );
@@ -245,7 +256,14 @@ fn journal_warm(
 /// points already journaled are loaded back; the rest execute in
 /// chunks of `--checkpoint-every`, each chunk fanned across `--jobs`
 /// and journaled on completion, so a kill loses at most one chunk.
-fn run_resumable(args: &Args, cfg: &CampaignConfig) -> Result<xpipes_sim::CampaignReport, String> {
+/// With `--progress`, every point (journal-loaded and fresh alike)
+/// emits its status line, so an uninterrupted resumed run's journal
+/// matches a fresh run's byte for byte.
+fn run_resumable(
+    args: &Args,
+    cfg: &CampaignConfig,
+    progress: &mut Option<ProgressStream>,
+) -> Result<xpipes_sim::CampaignReport, String> {
     let dir = args.resume.as_deref().expect("resume dir");
     std::fs::create_dir_all(dir)
         .map_err(|e| format!("cannot create journal directory {}: {e}", dir.display()))?;
@@ -269,7 +287,12 @@ fn run_resumable(args: &Args, cfg: &CampaignConfig) -> Result<xpipes_sim::Campai
         let path = point_path(dir, index);
         match std::fs::read(&path) {
             Ok(bytes) => match CompletedPoint::from_bytes(&bytes) {
-                Ok(point) if point.index == index => points.push(point),
+                Ok(point) if point.index == index => {
+                    if let Some(p) = progress.as_mut() {
+                        p.emit(&progress_line(&args.faults, cfg, &point));
+                    }
+                    points.push(point);
+                }
                 Ok(point) => {
                     return Err(format!(
                         "{} holds grid point {}, expected {index}",
@@ -316,6 +339,9 @@ fn run_resumable(args: &Args, cfg: &CampaignConfig) -> Result<xpipes_sim::Campai
             let path = point_path(dir, point.index);
             std::fs::write(&path, point.to_bytes())
                 .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            if let Some(p) = progress.as_mut() {
+                p.emit(&progress_line(&args.faults, cfg, &point));
+            }
             points.push(point);
         }
         eprintln!("journal: {}/{grid} grid points complete", points.len());
@@ -338,31 +364,51 @@ fn main() -> ExitCode {
     if let Some(depth) = args.flight_depth {
         cfg.flight_recorder_depth = depth;
     }
+    let mut progress: Option<ProgressStream> = match &args.progress {
+        Some(path) => match ProgressStream::create(path) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("error: cannot open progress sink {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
     let report = if args.resume.is_some() {
-        match run_resumable(&args, &cfg) {
+        match run_resumable(&args, &cfg, &mut progress) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::from(2);
             }
         }
-    } else if args.warm_start > 0 {
-        let warm = match warm_checkpoint(&campaign_spec(), &cfg, args.warm_start) {
-            Ok(w) => w,
-            Err(e) => {
-                eprintln!("error: warm-up failed: {e}");
-                return ExitCode::from(2);
-            }
-        };
-        match run_campaign_warm_parallel(&campaign_spec(), &args.faults, &cfg, &warm, args.jobs) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("error: campaign failed to assemble: {e}");
-                return ExitCode::from(2);
-            }
-        }
     } else {
-        match run_campaign_parallel(&campaign_spec(), &args.faults, &cfg, args.jobs) {
+        let warm = if args.warm_start > 0 {
+            match warm_checkpoint(&campaign_spec(), &cfg, args.warm_start) {
+                Ok(w) => Some(w),
+                Err(e) => {
+                    eprintln!("error: warm-up failed: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            None
+        };
+        let run = if let Some(p) = progress.as_mut() {
+            run_campaign_streaming(
+                &campaign_spec(),
+                &args.faults,
+                &cfg,
+                warm.as_ref(),
+                args.jobs,
+                &mut |point| p.emit(&progress_line(&args.faults, &cfg, point)),
+            )
+        } else if let Some(warm) = &warm {
+            run_campaign_warm_parallel(&campaign_spec(), &args.faults, &cfg, warm, args.jobs)
+        } else {
+            run_campaign_parallel(&campaign_spec(), &args.faults, &cfg, args.jobs)
+        };
+        match run {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: campaign failed to assemble: {e}");

@@ -16,6 +16,7 @@ use xpipes_traffic::pattern::Pattern;
 use xpipes_traffic::{sweep, sweep_from_checkpoint, sweep_warm_up, LoadPoint};
 
 use crate::cycle_engine::reference_spec;
+use crate::progress::ProgressStream;
 
 /// Default benchmark parameters: a 6-point curve where warm-up matches
 /// the measurement window, so the warm-start path skips roughly half
@@ -61,19 +62,56 @@ pub fn run_checkpoint_bench(
     window: u64,
     seed: u64,
 ) -> Result<CheckpointBench, XpipesError> {
+    run_checkpoint_bench_observed(rates, warmup, window, seed, None)
+}
+
+/// [`run_checkpoint_bench`] with stage-level NDJSON progress lines
+/// (`cold_sweep` / `warm_up` / `warm_sweep` start/done, then a final
+/// summary line). Progress is stage-granular rather than per-cycle
+/// because the sweep calls are the timed quantity under benchmark —
+/// chunking them would perturb the very wall-clocks being compared.
+///
+/// # Errors
+///
+/// Propagates network construction errors.
+pub fn run_checkpoint_bench_observed(
+    rates: &[f64],
+    warmup: u64,
+    window: u64,
+    seed: u64,
+    mut progress: Option<&mut ProgressStream>,
+) -> Result<CheckpointBench, XpipesError> {
     let spec = reference_spec();
     let warm_rate = rates.get(rates.len() / 2).copied().unwrap_or(0.03);
+    let stage = |p: &mut Option<&mut ProgressStream>, name: &str, status: &str| {
+        if let Some(p) = p.as_deref_mut() {
+            p.emit(
+                &Json::object()
+                    .field("stage", Json::str(name))
+                    .field("status", Json::str(status))
+                    .field("points", Json::UInt(rates.len() as u64))
+                    .field("elapsed_s", Json::Fixed(p.elapsed_s(), 3))
+                    .build(),
+            );
+        }
+    };
 
+    stage(&mut progress, "cold_sweep", "start");
     let start = Instant::now();
     sweep(&spec, Pattern::Uniform, rates, warmup, window, seed)?;
     let cold_s = start.elapsed().as_secs_f64();
+    stage(&mut progress, "cold_sweep", "done");
 
+    stage(&mut progress, "warm_up", "start");
     let start = Instant::now();
     let warm = sweep_warm_up(&spec, Pattern::Uniform, warm_rate, warmup, seed)?;
+    stage(&mut progress, "warm_up", "done");
+    stage(&mut progress, "warm_sweep", "start");
     let warm_points = sweep_from_checkpoint(&spec, &warm, rates, window, seed)?;
     let warm_s = start.elapsed().as_secs_f64();
+    stage(&mut progress, "warm_sweep", "done");
 
-    Ok(CheckpointBench {
+    let bench = CheckpointBench {
         rates: rates.to_vec(),
         warmup,
         window,
@@ -81,7 +119,20 @@ pub fn run_checkpoint_bench(
         warm_s,
         speedup: cold_s / warm_s,
         warm_points,
-    })
+    };
+    if let Some(p) = progress {
+        p.emit(
+            &Json::object()
+                .field("stage", Json::str("report"))
+                .field("status", Json::str("done"))
+                .field("cold_s", Json::Fixed(bench.cold_s, 3))
+                .field("warm_s", Json::Fixed(bench.warm_s, 3))
+                .field("speedup", Json::Fixed(bench.speedup, 2))
+                .field("final", Json::Bool(true))
+                .build(),
+        );
+    }
+    Ok(bench)
 }
 
 /// Renders the benchmark report written to `BENCH_checkpoint.json`.

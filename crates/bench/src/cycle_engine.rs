@@ -13,9 +13,10 @@
 
 use std::time::Instant;
 
+use crate::progress::{rate_fields, ProgressStream};
 use xpipes::noc::{Noc, TelemetryConfig};
 use xpipes::XpipesError;
-use xpipes_sim::{Json, Snapshot, SnapshotReader, SnapshotWriter};
+use xpipes_sim::{Json, KernelHealth, Snapshot, SnapshotReader, SnapshotWriter};
 use xpipes_topology::builders::mesh;
 use xpipes_topology::spec::NocSpec;
 use xpipes_traffic::generator::{Injector, InjectorConfig};
@@ -203,24 +204,82 @@ pub struct WorkloadResult {
     pub flits_routed: u64,
     /// Packets delivered end to end (work fingerprint).
     pub packets_delivered: u64,
+    /// Kernel dispatch counters for the run (deterministic; excluded
+    /// from the work fingerprint, which predates it).
+    pub kernel_health: KernelHealth,
+}
+
+/// Which observers ride a timed workload run. The default is the bare
+/// engine — no telemetry, no attribution, no profiler.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Attach the telemetry layer (metric registry, optional timeline
+    /// and flight recorder).
+    pub telemetry: Option<TelemetryConfig>,
+    /// Attach the per-packet latency attribution ledger.
+    pub attribution: bool,
+    /// Arm the wall-clock kernel phase profiler.
+    pub profile: bool,
+}
+
+/// One NDJSON heartbeat line. `remaining` is the known-remaining cycle
+/// count (injection phase) or `None` (drain — the end is data-dependent).
+/// The `"done"` phase marks the final line of a run.
+fn emit_heartbeat(
+    p: &mut ProgressStream,
+    workload: Workload,
+    phase: &str,
+    noc: &Noc,
+    target: u64,
+    remaining: Option<u64>,
+    start: Instant,
+) {
+    let final_line = phase == "done";
+    let stats = noc.stats();
+    let health = noc.kernel_health();
+    let (cps, eta) = rate_fields(stats.cycles, start.elapsed().as_secs_f64(), remaining);
+    p.emit(
+        &Json::object()
+            .field("workload", Json::str(workload.name()))
+            .field("phase", Json::str(phase))
+            .field("cycle", Json::UInt(stats.cycles))
+            .field("target_cycles", Json::UInt(target))
+            .field("packets_delivered", Json::UInt(stats.packets_delivered))
+            .field("retransmissions", Json::UInt(stats.retransmissions))
+            .field("flits_routed", Json::UInt(stats.flits_routed))
+            .field("event_steps", Json::UInt(health.event_steps()))
+            .field("fallback_steps", Json::UInt(health.fallback_steps()))
+            .field("time_jumps", Json::UInt(health.time_jumps()))
+            .field("cycles_per_sec", cps)
+            .field("eta_s", eta)
+            .field("final", Json::Bool(final_line))
+            .build(),
+    );
 }
 
 /// Runs one reference workload for `cycles` injection cycles plus drain,
 /// timing the whole simulation. Returns the network alongside the
 /// measurement so instrumented callers can export telemetry artifacts.
+/// With a progress stream the run is chunked at the stream's heartbeat
+/// interval — state-identical to the unchunked run (time jumps are
+/// bounded by the remaining chunk instead of the remaining budget, but
+/// every skipped cycle is a no-op either way).
 fn run_timed(
     workload: Workload,
     cycles: u64,
-    telemetry: Option<TelemetryConfig>,
-    attribution: bool,
+    opts: &RunOptions,
+    mut progress: Option<&mut ProgressStream>,
 ) -> Result<(Noc, WorkloadResult), XpipesError> {
     let spec = workload.spec();
     let mut noc = Noc::with_seed(&spec, BENCH_SEED)?;
-    if let Some(cfg) = telemetry {
-        noc.enable_telemetry(cfg);
+    if let Some(cfg) = &opts.telemetry {
+        noc.enable_telemetry(*cfg);
     }
-    if attribution {
+    if opts.attribution {
         noc.enable_attribution();
+    }
+    if opts.profile {
+        noc.enable_profiling();
     }
     let mut inj = Injector::new(
         &spec,
@@ -228,12 +287,48 @@ fn run_timed(
         BENCH_SEED ^ 0x5EED,
     )?;
     let start = Instant::now();
-    inj.run(&mut noc, cycles);
-    noc.run_until_idle(cycles / 2);
+    match progress.as_deref_mut() {
+        None => {
+            inj.run(&mut noc, cycles);
+            noc.run_until_idle(cycles / 2);
+        }
+        Some(p) => {
+            let chunk = p.interval;
+            let mut done = 0u64;
+            while done < cycles {
+                let n = chunk.min(cycles - done);
+                inj.run(&mut noc, n);
+                done += n;
+                emit_heartbeat(
+                    p,
+                    workload,
+                    "inject",
+                    &noc,
+                    cycles,
+                    Some(cycles - done),
+                    start,
+                );
+            }
+            let budget = cycles / 2;
+            let mut used = 0u64;
+            while used < budget {
+                let n = chunk.min(budget - used);
+                let idle = noc.run_until_idle(n);
+                used += n;
+                emit_heartbeat(p, workload, "drain", &noc, cycles, None, start);
+                if idle {
+                    break;
+                }
+            }
+        }
+    }
     let elapsed = start.elapsed().as_secs_f64();
     inj.drain_responses(&mut noc);
     noc.flush_telemetry();
     let stats = noc.stats();
+    if let Some(p) = progress {
+        emit_heartbeat(p, workload, "done", &noc, cycles, Some(0), start);
+    }
     let total_cycles = stats.cycles;
     let result = WorkloadResult {
         name: workload.name(),
@@ -243,6 +338,7 @@ fn run_timed(
         flits_per_sec: stats.flits_routed as f64 / elapsed,
         flits_routed: stats.flits_routed,
         packets_delivered: stats.packets_delivered,
+        kernel_health: noc.kernel_health().clone(),
     };
     Ok((noc, result))
 }
@@ -254,7 +350,50 @@ fn run_timed(
 ///
 /// Propagates network-assembly failures.
 pub fn run_workload(workload: Workload, cycles: u64) -> Result<WorkloadResult, XpipesError> {
-    run_timed(workload, cycles, None, false).map(|(_, r)| r)
+    run_timed(workload, cycles, &RunOptions::default(), None).map(|(_, r)| r)
+}
+
+/// A workload measurement with every requested observer's rendered
+/// artifact: the one-stop result the `cycle_engine` binary consumes.
+#[derive(Debug)]
+pub struct ObservedRun {
+    /// The timed measurement (work fingerprint unchanged by observers).
+    pub result: WorkloadResult,
+    /// Rendered metric-registry JSON, when telemetry ran.
+    pub registry_json: Option<String>,
+    /// Rendered congestion-timeline JSON, when the config collected one.
+    pub timeline_json: Option<String>,
+    /// Rendered Perfetto trace (flit spans, attribution spans, and
+    /// kernel-health counter tracks), when a flight recorder ran.
+    pub perfetto_json: Option<String>,
+    /// The attribution report, when the ledger ran.
+    pub attribution: Option<Json>,
+    /// The kernel phase profile, when profiling was armed. Wall-clock
+    /// data: emit only in sections excluded from byte comparison.
+    pub kernel_profile: Option<Json>,
+}
+
+/// Runs one reference workload with the observers selected in `opts`,
+/// streaming NDJSON heartbeats to `progress` when given.
+///
+/// # Errors
+///
+/// Propagates network-assembly failures.
+pub fn run_workload_observed(
+    workload: Workload,
+    cycles: u64,
+    opts: &RunOptions,
+    progress: Option<&mut ProgressStream>,
+) -> Result<ObservedRun, XpipesError> {
+    let (noc, result) = run_timed(workload, cycles, opts, progress)?;
+    Ok(ObservedRun {
+        result,
+        registry_json: noc.telemetry_registry().map(|r| r.to_json().render()),
+        timeline_json: noc.timeline_json(),
+        perfetto_json: noc.perfetto_json_with_health(),
+        attribution: noc.attribution_report(),
+        kernel_profile: noc.kernel_profile().map(|p| p.to_json()),
+    })
 }
 
 /// A workload measurement taken with the telemetry layer attached, plus
@@ -284,7 +423,11 @@ pub fn run_workload_instrumented(
     cycles: u64,
     config: TelemetryConfig,
 ) -> Result<InstrumentedRun, XpipesError> {
-    let (noc, result) = run_timed(workload, cycles, Some(config), false)?;
+    let opts = RunOptions {
+        telemetry: Some(config),
+        ..RunOptions::default()
+    };
+    let (noc, result) = run_timed(workload, cycles, &opts, None)?;
     Ok(InstrumentedRun {
         result,
         registry_json: noc
@@ -293,7 +436,7 @@ pub fn run_workload_instrumented(
             .to_json()
             .render(),
         timeline_json: noc.timeline_json(),
-        perfetto_json: noc.perfetto_json(),
+        perfetto_json: noc.perfetto_json_with_health(),
     })
 }
 
@@ -319,7 +462,11 @@ pub fn run_workload_attributed(
     workload: Workload,
     cycles: u64,
 ) -> Result<AttributedRun, XpipesError> {
-    let (noc, result) = run_timed(workload, cycles, None, true)?;
+    let opts = RunOptions {
+        attribution: true,
+        ..RunOptions::default()
+    };
+    let (noc, result) = run_timed(workload, cycles, &opts, None)?;
     Ok(AttributedRun {
         result,
         attribution: noc.attribution_report().expect("attribution was enabled"),
@@ -364,6 +511,20 @@ pub fn checkpoint_workload(workload: Workload, checkpoint_at: u64) -> Result<Vec
 /// Propagates assembly failures and checkpoint-decode failures (damaged
 /// file, wrong workload, or a checkpoint taken past `cycles`).
 pub fn resume_workload(bytes: &[u8], cycles: u64) -> Result<WorkloadResult, XpipesError> {
+    resume_workload_observed(bytes, cycles, None)
+}
+
+/// [`resume_workload`] with optional NDJSON progress heartbeats for the
+/// resumed portion (same chunking contract as [`run_workload_observed`]).
+///
+/// # Errors
+///
+/// Propagates assembly failures and checkpoint-decode failures.
+pub fn resume_workload_observed(
+    bytes: &[u8],
+    cycles: u64,
+    mut progress: Option<&mut ProgressStream>,
+) -> Result<WorkloadResult, XpipesError> {
     let mut r = SnapshotReader::open(bytes).map_err(XpipesError::from)?;
     let name = r.str().map_err(XpipesError::from)?;
     let checkpoint_at = r.u64().map_err(XpipesError::from)?;
@@ -392,11 +553,48 @@ pub fn resume_workload(bytes: &[u8], cycles: u64) -> Result<WorkloadResult, Xpip
     inj.load_state(&mut ir).map_err(XpipesError::from)?;
     ir.finish().map_err(XpipesError::from)?;
     let start = Instant::now();
-    inj.run(&mut noc, cycles - checkpoint_at);
-    noc.run_until_idle(cycles / 2);
+    let to_inject = cycles - checkpoint_at;
+    match progress.as_deref_mut() {
+        None => {
+            inj.run(&mut noc, to_inject);
+            noc.run_until_idle(cycles / 2);
+        }
+        Some(p) => {
+            let chunk = p.interval;
+            let mut done = 0u64;
+            while done < to_inject {
+                let n = chunk.min(to_inject - done);
+                inj.run(&mut noc, n);
+                done += n;
+                emit_heartbeat(
+                    p,
+                    workload,
+                    "inject",
+                    &noc,
+                    cycles,
+                    Some(to_inject - done),
+                    start,
+                );
+            }
+            let budget = cycles / 2;
+            let mut used = 0u64;
+            while used < budget {
+                let n = chunk.min(budget - used);
+                let idle = noc.run_until_idle(n);
+                used += n;
+                emit_heartbeat(p, workload, "drain", &noc, cycles, None, start);
+                if idle {
+                    break;
+                }
+            }
+        }
+    }
     let elapsed = start.elapsed().as_secs_f64();
     inj.drain_responses(&mut noc);
     let stats = noc.stats();
+    if let Some(p) = progress {
+        emit_heartbeat(p, workload, "done", &noc, cycles, Some(0), start);
+    }
     Ok(WorkloadResult {
         name: workload.name(),
         cycles: stats.cycles,
@@ -405,6 +603,7 @@ pub fn resume_workload(bytes: &[u8], cycles: u64) -> Result<WorkloadResult, Xpip
         flits_per_sec: stats.flits_routed as f64 / elapsed,
         flits_routed: stats.flits_routed,
         packets_delivered: stats.packets_delivered,
+        kernel_health: noc.kernel_health().clone(),
     })
 }
 
@@ -528,9 +727,13 @@ pub fn measure_telemetry_overhead(
     let trials = trials.max(1);
     let mut best_off = f64::INFINITY;
     let mut best_on = f64::INFINITY;
+    let telemetry_opts = RunOptions {
+        telemetry: Some(TelemetryConfig::default()),
+        ..RunOptions::default()
+    };
     for _ in 0..trials {
-        let (_, off) = run_timed(workload, cycles, None, false)?;
-        let (_, on) = run_timed(workload, cycles, Some(TelemetryConfig::default()), false)?;
+        let (_, off) = run_timed(workload, cycles, &RunOptions::default(), None)?;
+        let (_, on) = run_timed(workload, cycles, &telemetry_opts, None)?;
         best_off = best_off.min(off.elapsed_s);
         best_on = best_on.min(on.elapsed_s);
     }
@@ -559,9 +762,13 @@ pub fn measure_attribution_overhead(
     let trials = trials.max(1);
     let mut best_off = f64::INFINITY;
     let mut best_on = f64::INFINITY;
+    let attribution_opts = RunOptions {
+        attribution: true,
+        ..RunOptions::default()
+    };
     for _ in 0..trials {
-        let (_, off) = run_timed(workload, cycles, None, false)?;
-        let (_, on) = run_timed(workload, cycles, None, true)?;
+        let (_, off) = run_timed(workload, cycles, &RunOptions::default(), None)?;
+        let (_, on) = run_timed(workload, cycles, &attribution_opts, None)?;
         best_off = best_off.min(off.elapsed_s);
         best_on = best_on.min(on.elapsed_s);
     }
@@ -600,6 +807,7 @@ pub fn report_json(results: &[WorkloadResult]) -> Json {
                 .field("packets_delivered", Json::UInt(r.packets_delivered))
                 .field("pre_pr_cycles_per_sec", Json::Fixed(pre, 0))
                 .field("speedup_vs_pre_pr", Json::Fixed(speedup, 2))
+                .field("kernel_health", r.kernel_health.to_json())
                 .build(),
         );
     }
@@ -748,6 +956,65 @@ mod tests {
     }
 
     #[test]
+    fn kernel_health_is_deterministic_and_reported() {
+        let a = run_workload(Workload::UniformRandom, 1500).unwrap();
+        let b = run_workload(Workload::UniformRandom, 1500).unwrap();
+        assert_eq!(a.kernel_health, b.kernel_health);
+        assert_eq!(
+            a.kernel_health.fallback_steps(),
+            0,
+            "bare run stays on the event kernel"
+        );
+        assert!(a.kernel_health.event_steps() > 0);
+        let text = report_json(&[a]).render();
+        assert!(text.contains("\"kernel_health\""));
+        assert!(text.contains("\"fallback_reasons\""));
+    }
+
+    #[test]
+    fn profile_and_progress_leave_the_fingerprint_unchanged() {
+        let plain = run_workload(Workload::UniformRandom, 2000).unwrap();
+        let dir = std::env::temp_dir().join("xpipes_engine_progress_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("progress.ndjson");
+        let mut stream = ProgressStream::create(path.to_str().unwrap())
+            .unwrap()
+            .with_interval(500);
+        let opts = RunOptions {
+            profile: true,
+            ..RunOptions::default()
+        };
+        let observed =
+            run_workload_observed(Workload::UniformRandom, 2000, &opts, Some(&mut stream)).unwrap();
+        drop(stream);
+        // Observers are quarantined: the byte-compared work fingerprint
+        // is identical with profiling and progress streaming armed, and
+        // carries no wall-clock profile data.
+        let fp = fingerprint_json(std::slice::from_ref(&observed.result)).render();
+        assert_eq!(fingerprint_json(&[plain]).render(), fp);
+        assert!(!fp.contains("kernel_profile"));
+        assert!(observed.kernel_profile.is_some());
+        // The heartbeat file is well-formed NDJSON whose final line
+        // totals match the measurement.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().count() >= 2);
+        for line in text.lines() {
+            Json::parse(line).expect("well-formed NDJSON");
+        }
+        let last = Json::parse(text.lines().last().unwrap()).unwrap();
+        assert_eq!(last.get("final"), Some(&Json::Bool(true)));
+        assert_eq!(
+            last.get("cycle").and_then(Json::as_u64),
+            Some(observed.result.cycles)
+        );
+        assert_eq!(
+            last.get("packets_delivered").and_then(Json::as_u64),
+            Some(observed.result.packets_delivered)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn report_round_trips_through_parser() {
         let r = WorkloadResult {
             name: "uniform_random_4x4",
@@ -757,6 +1024,7 @@ mod tests {
             flits_per_sec: 789.0,
             flits_routed: 400,
             packets_delivered: 20,
+            kernel_health: KernelHealth::new(),
         };
         let text = report_json(&[r]).render();
         assert_eq!(

@@ -29,8 +29,8 @@ use xpipes_sim::telemetry::{
 };
 use xpipes_sim::trace::{SignalId, VcdWriter};
 use xpipes_sim::{
-    ActiveSet, Cycle, EventWheel, FaultPlan, RunningStats, SimRng, Snapshot, SnapshotError,
-    SnapshotReader, SnapshotWriter,
+    ActiveSet, Cycle, EventWheel, FallbackReason, FaultPlan, KernelHealth, KernelPhase,
+    KernelProfile, RunningStats, SimRng, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
 };
 use xpipes_topology::spec::NocSpec;
 use xpipes_topology::{NiId, NiKind, SwitchId};
@@ -324,6 +324,22 @@ impl Scheduler {
     }
 }
 
+/// Closes one profiled segment: charges the time since `mark` to
+/// `phase` and restarts the mark. A no-op (no `Instant` taken) when
+/// profiling is disabled.
+#[inline]
+fn prof_mark(
+    prof: &mut Option<Box<KernelProfile>>,
+    mark: &mut Option<std::time::Instant>,
+    phase: KernelPhase,
+) {
+    if let (Some(p), Some(t)) = (prof.as_deref_mut(), mark.as_mut()) {
+        let now = std::time::Instant::now();
+        p.note(phase, now.duration_since(*t));
+        *t = now;
+    }
+}
+
 /// Updates one cached blocker bit and the blocker count it feeds.
 fn note_blocker(count: &mut usize, slot: &mut bool, blocking: bool) {
     if *slot != blocking {
@@ -506,6 +522,14 @@ pub struct Noc {
     target_chan: Vec<usize>,
     /// Event-driven step schedule (see [`Scheduler`]).
     sched: Scheduler,
+    /// Deterministic per-run dispatch counters (see [`KernelHealth`]).
+    /// Always on (plain counter bumps), never serialized into
+    /// checkpoints, and never folded into byte-compared artifacts.
+    health: KernelHealth,
+    /// Opt-in wall-clock phase profiler. `None` means the kernel takes
+    /// no timestamps at all; boxed so the take-put dance moves one
+    /// pointer like the telemetry state.
+    profile: Option<Box<KernelProfile>>,
 }
 
 impl Noc {
@@ -697,6 +721,8 @@ impl Noc {
             initiator_chan,
             target_chan,
             sched,
+            health: KernelHealth::new(),
+            profile: None,
         })
     }
 
@@ -1198,14 +1224,32 @@ impl Noc {
 
     /// Chrome/Perfetto `trace_event` JSON of the flight recorder's
     /// flit lifetimes (inject→route→deliver spans), when a recorder
-    /// runs.
+    /// runs. This export is a pure function of the simulated events, so
+    /// it is byte-stable across a checkpoint/restore boundary.
     pub fn perfetto_json(&self) -> Option<String> {
+        self.perfetto(false)
+    }
+
+    /// [`perfetto_json`](Self::perfetto_json) plus the kernel-health
+    /// counter tracks (pid 2), so the dispatch mix lines up with flit
+    /// and attribution spans. Health counters describe *this process's*
+    /// engine run and are not checkpointed, so unlike the plain export
+    /// this variant is **not** byte-stable across a restore — keep it
+    /// out of byte-compared artifact sets.
+    pub fn perfetto_json_with_health(&self) -> Option<String> {
+        self.perfetto(true)
+    }
+
+    fn perfetto(&self, health: bool) -> Option<String> {
         self.flight_recorder().map(|fr| {
-            let extra = self
+            let mut extra = self
                 .attribution
                 .as_deref()
                 .map(AttributionEngine::perfetto_events)
                 .unwrap_or_default();
+            if health {
+                extra.extend(self.health.perfetto_counter_events());
+            }
             perfetto_trace_with(&fr.snapshot(), &self.channel_labels(), extra).render()
         })
     }
@@ -1272,6 +1316,9 @@ impl Noc {
         }
         t.registry.note_epoch();
         self.telemetry = Some(t);
+        // Kernel-health counters snapshot on the same epoch cadence so
+        // the Perfetto counter tracks line up with congestion windows.
+        self.health.sample(cycle);
     }
 
     /// Forces a final sample covering any cycles since the last epoch
@@ -1314,6 +1361,31 @@ impl Noc {
             peak_queue_depth: peak,
             peak_queue_switch: peak_switch,
         }
+    }
+
+    /// The per-run kernel dispatch counters: event vs fallback step mix
+    /// with a fallback-reason histogram, schedule occupancy, wheel
+    /// depth/horizon, and time-jump totals. Always collected (plain
+    /// counter bumps) and deterministic; introspection only — never
+    /// serialized into checkpoints or folded into byte-compared
+    /// artifacts.
+    pub fn kernel_health(&self) -> &KernelHealth {
+        &self.health
+    }
+
+    /// Arms the wall-clock kernel phase profiler. Until this is called
+    /// the kernel takes no timestamps at all. Profile data is
+    /// non-deterministic (wall clock) and must only be emitted in report
+    /// sections excluded from byte comparison.
+    pub fn enable_profiling(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::new(KernelProfile::new()));
+        }
+    }
+
+    /// The accumulated phase profile, when profiling is armed.
+    pub fn kernel_profile(&self) -> Option<&KernelProfile> {
+        self.profile.as_deref()
     }
 
     /// Arms a flow-control sabotage mode on **every** sender in the
@@ -1420,7 +1492,12 @@ impl Noc {
     pub fn step(&mut self) {
         if self.fast_path() {
             if !self.sched.valid {
+                self.health.note_rebuild();
+                let mark = self.profile.is_some().then(std::time::Instant::now);
                 self.rebuild_schedule();
+                if let (Some(p), Some(t)) = (self.profile.as_deref_mut(), mark) {
+                    p.note(KernelPhase::Scheduling, t.elapsed());
+                }
             }
             self.step_event();
         } else {
@@ -1448,6 +1525,29 @@ impl Noc {
         let mut monitor = self.monitor.take();
         let mut attr = self.attribution.take();
         let cycle = self.now.as_u64();
+        // Health: every armed observer that forced this full scan counts
+        // in the reason histogram; a direct `step_reference` call with no
+        // observer armed is a schedule-invalidated step by definition.
+        {
+            let mut reasons = [FallbackReason::ScheduleInvalidated; 3];
+            let mut n = 0;
+            if self.trace.is_some() {
+                reasons[n] = FallbackReason::TraceArmed;
+                n += 1;
+            }
+            if monitor.is_some() {
+                reasons[n] = FallbackReason::MonitorArmed;
+                n += 1;
+            }
+            if self.stall_faults {
+                reasons[n] = FallbackReason::StallFaultsActive;
+                n += 1;
+            }
+            let n = n.max(1);
+            self.health.note_fallback_step(&reasons[..n]);
+        }
+        let mut prof = self.profile.take();
+        let mut mark = prof.as_ref().map(|_| std::time::Instant::now());
         // Violation count going in: if it grows this cycle, the flight
         // recorder freezes its ring at the end of the step.
         let viol_before = monitor.as_ref().map_or(0, |m| m.violations().len());
@@ -1459,6 +1559,7 @@ impl Noc {
             self.chan.fwd_arrival[i] = fwd;
             self.chan.rev_arrival[i] = rev;
         }
+        prof_mark(&mut prof, &mut mark, KernelPhase::ChannelPass);
         if let Some(trace) = &mut self.trace {
             for (i, arrival) in self.chan.fwd_arrival.iter().enumerate() {
                 let (valid, pkt) = match arrival {
@@ -1469,6 +1570,7 @@ impl Noc {
                 trace.vcd.change(self.now, trace.packet[i], pkt);
             }
         }
+        prof_mark(&mut prof, &mut mark, KernelPhase::ObserverHooks);
         // Fault injection: transient backpressure at switch outputs. The
         // guard keeps fault-free runs off `fault_rng` entirely, so their
         // RNG streams are bit-identical whether or not a plan is armed.
@@ -1480,6 +1582,7 @@ impl Noc {
                     }
                 }
             }
+            prof_mark(&mut prof, &mut mark, KernelPhase::SwitchPass);
         }
         // Phase 2: producers transmit (consume reverse arrivals).
         {
@@ -1502,6 +1605,7 @@ impl Noc {
                 );
             }
         }
+        prof_mark(&mut prof, &mut mark, KernelPhase::ChannelPass);
         // Phase 3: switch allocation + crossbar.
         for sw in &mut self.switches {
             sw.crossbar();
@@ -1516,6 +1620,7 @@ impl Noc {
                 sw.clear_granted_tails();
             }
         }
+        prof_mark(&mut prof, &mut mark, KernelPhase::SwitchPass);
         // Phase 4: consumers receive (produce reverse replies).
         {
             let chan = &mut self.chan;
@@ -1539,6 +1644,7 @@ impl Noc {
                 );
             }
         }
+        prof_mark(&mut prof, &mut mark, KernelPhase::ChannelPass);
         // Monitor: once-per-cycle endpoint invariants on every channel.
         if let Some(m) = monitor.as_mut() {
             for i in 0..self.chan.len() {
@@ -1557,6 +1663,7 @@ impl Noc {
                 }
             }
         }
+        prof_mark(&mut prof, &mut mark, KernelPhase::ObserverHooks);
         // NI housekeeping.
         for ni in &mut self.initiators {
             ni.tick(self.now);
@@ -1564,6 +1671,7 @@ impl Noc {
         for ni in &mut self.targets {
             ni.tick(self.now);
         }
+        prof_mark(&mut prof, &mut mark, KernelPhase::WheelService);
         self.monitor = monitor;
         self.attribution = attr;
         // Telemetry epoch boundary: scan component counters into the
@@ -1574,6 +1682,7 @@ impl Noc {
                 self.sample_telemetry(cycle);
             }
         }
+        prof_mark(&mut prof, &mut mark, KernelPhase::ObserverHooks);
         // A reference step invalidates the event schedule; when the
         // fast-path gate would allow event stepping, rebuild it here so
         // `is_idle` stays O(1) between reference steps.
@@ -1582,6 +1691,8 @@ impl Noc {
         } else {
             self.sched.valid = false;
         }
+        prof_mark(&mut prof, &mut mark, KernelPhase::Scheduling);
+        self.profile = prof;
         self.now = self.now.next();
     }
 
@@ -1605,6 +1716,14 @@ impl Noc {
             &mut self.sched.sw_sched,
             std::mem::take(&mut self.sched.sw_scratch),
         );
+        self.health.note_event_step(
+            chan_cur.len() as u64,
+            sw_cur.len() as u64,
+            self.sched.tgt_wake.len() as u64,
+            self.sched.tgt_wake.next_event_cycle(),
+        );
+        let mut prof = self.profile.take();
+        let mut mark = prof.as_ref().map(|_| std::time::Instant::now());
 
         // Phase 1: links shift. Unscheduled channels hold no latches and
         // an empty pipe — their shift is a no-op and draws no RNG.
@@ -1617,6 +1736,7 @@ impl Noc {
                 chan.rev_arrival[i] = rev;
             }
         }
+        prof_mark(&mut prof, &mut mark, KernelPhase::ChannelPass);
         // Phase 2: producers transmit (consume reverse arrivals). Every
         // endpoint a phase touches lands in a touched set so its blocker
         // bit and activity are re-derived after the ticks.
@@ -1652,6 +1772,7 @@ impl Noc {
                 );
             }
         }
+        prof_mark(&mut prof, &mut mark, KernelPhase::ChannelPass);
         // Phase 3: switch allocation + crossbar for switches whose input
         // side held work. A granted flit lands in an output queue, so
         // the produced channel joins next cycle's schedule.
@@ -1679,6 +1800,7 @@ impl Noc {
                 sw.clear_granted_tails();
             }
         }
+        prof_mark(&mut prof, &mut mark, KernelPhase::SwitchPass);
         // Phase 4: consumers receive (produce reverse replies). A target
         // whose latency queue goes empty→non-empty gets a wheel wake at
         // its head's ready cycle (head-of-line pop order keeps the
@@ -1730,6 +1852,7 @@ impl Noc {
                 }
             }
         }
+        prof_mark(&mut prof, &mut mark, KernelPhase::ChannelPass);
         // NI housekeeping: only initiators with a submit backlog and
         // targets with a due response can make progress; every other
         // tick is a provable no-op.
@@ -1765,6 +1888,7 @@ impl Noc {
             }
             self.sched.wake_buf = wake_buf;
         }
+        prof_mark(&mut prof, &mut mark, KernelPhase::WheelService);
         // Re-derive activity and blocker bits for everything this step
         // touched. Unscheduled components were provably untouched, so
         // their cached bits still hold.
@@ -1826,6 +1950,7 @@ impl Noc {
             }
             sched.ni_buf = ni_buf;
         }
+        prof_mark(&mut prof, &mut mark, KernelPhase::Scheduling);
         self.attribution = attr;
         // Telemetry epoch boundary: same cadence as the reference step.
         if let Some(t) = &self.telemetry {
@@ -1833,6 +1958,8 @@ impl Noc {
                 self.sample_telemetry(cycle);
             }
         }
+        prof_mark(&mut prof, &mut mark, KernelPhase::ObserverHooks);
+        self.profile = prof;
         // Return the walked (now cleared) sets to the scratch slots.
         let mut chan_cur = chan_cur;
         let mut sw_cur = sw_cur;
@@ -1846,11 +1973,12 @@ impl Noc {
     /// Cycles that can be skipped outright, bounded by `limit`: when the
     /// schedule is valid and empty (no channel, switch, or initiator has
     /// work), nothing mutates until the next target wake — stepping
-    /// through the gap would be pure no-ops. Telemetry disables jumping
-    /// (its epoch sampling is cycle-cadenced), as does any observer via
-    /// the fast-path gate.
+    /// through the gap would be pure no-ops. Only the observers behind
+    /// the fast-path gate disable jumping; armed telemetry jumps too,
+    /// with [`jump_idle_gap`](Self::jump_idle_gap) synthesizing its
+    /// epoch samples across the gap.
     fn idle_gap(&self, limit: u64) -> Option<u64> {
-        if limit == 0 || !self.sched.valid || !self.fast_path() || self.telemetry.is_some() {
+        if limit == 0 || !self.sched.valid || !self.fast_path() {
             return None;
         }
         let s = &self.sched;
@@ -1866,6 +1994,30 @@ impl Noc {
         (gap > 0).then_some(gap)
     }
 
+    /// Advances the clock across a provably-idle gap of `skip` cycles
+    /// (from [`idle_gap`](Self::idle_gap)). With telemetry armed, every
+    /// epoch boundary inside the gap gets a synthesized sample: no
+    /// component counter changes during an idle gap, so each sample is
+    /// byte-identical to the one cycle-by-cycle stepping would have
+    /// taken — pinned by the kernel-equivalence matrix.
+    fn jump_idle_gap(&mut self, skip: u64) {
+        let now = self.now.as_u64();
+        let interval = self.telemetry.as_ref().map(|t| t.config.sample_interval);
+        if let Some(interval) = interval.filter(|&i| i > 0) {
+            // First cycle c >= now with (c + 1) a multiple of the
+            // sampling interval, then every interval-th cycle before the
+            // jump target.
+            let mut boundary = (now + 1).next_multiple_of(interval) - 1;
+            while boundary < now + skip {
+                self.sample_telemetry(boundary);
+                self.health.note_synthetic_sample();
+                boundary += interval;
+            }
+        }
+        self.health.note_jump(skip);
+        self.now = Cycle::new(now + skip);
+    }
+
     /// Runs `cycles` clock cycles. Whole idle gaps — runs of cycles in
     /// which provably nothing happens — are skipped by advancing the
     /// clock directly to the next scheduled event.
@@ -1873,7 +2025,7 @@ impl Noc {
         let mut remaining = cycles;
         while remaining > 0 {
             if let Some(skip) = self.idle_gap(remaining) {
-                self.now = Cycle::new(self.now.as_u64() + skip);
+                self.jump_idle_gap(skip);
                 remaining -= skip;
                 continue;
             }
@@ -1920,7 +2072,7 @@ impl Noc {
                 return true;
             }
             if let Some(skip) = self.idle_gap(remaining) {
-                self.now = Cycle::new(self.now.as_u64() + skip);
+                self.jump_idle_gap(skip);
                 remaining -= skip;
                 continue;
             }

@@ -116,6 +116,43 @@ impl Json {
         out
     }
 
+    /// Renders the document on one line with no whitespace — the NDJSON
+    /// form progress heartbeats stream (one object per line). Same
+    /// deterministic number formatting as [`render`](Self::render).
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+            scalar => scalar.write(out, 0),
+        }
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -528,6 +565,24 @@ mod tests {
             let err = Json::parse(bad).unwrap_err();
             assert!(err.contains("byte"), "error for {bad:?} was {err:?}");
         }
+    }
+
+    #[test]
+    fn compact_rendering_round_trips_on_one_line() {
+        let doc = Json::object()
+            .field("cycle", Json::UInt(5000))
+            .field("rate", Json::Fixed(0.25, 3))
+            .field("tags", Json::Array(vec![Json::str("a"), Json::Null]))
+            .field("empty", Json::object().build())
+            .build();
+        let line = doc.render_compact();
+        assert!(!line.contains('\n'));
+        assert!(!line.contains(' '));
+        assert_eq!(Json::parse(&line).unwrap(), doc);
+        assert_eq!(
+            line,
+            "{\"cycle\":5000,\"rate\":0.250,\"tags\":[\"a\",null],\"empty\":{}}"
+        );
     }
 
     #[test]

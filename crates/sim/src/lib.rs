@@ -25,7 +25,9 @@
 //!   ledgers with an exact conservation invariant, per-flow latency
 //!   histograms, and a run-diff regression explainer,
 //! * fault-model specifications and campaign reports ([`faults`]) with a
-//!   byte-stable JSON renderer ([`json`]).
+//!   byte-stable JSON renderer ([`json`]),
+//! * deterministic kernel-health introspection ([`health`]) and an
+//!   opt-in wall-clock phase profiler ([`profile`]).
 //!
 //! # Examples
 //!
@@ -56,9 +58,11 @@
 pub mod active;
 pub mod attribution;
 pub mod faults;
+pub mod health;
 pub mod json;
 pub mod kernel;
 pub mod parallel;
+pub mod profile;
 pub mod rng;
 pub mod snapshot;
 pub mod stats;
@@ -72,8 +76,10 @@ pub use attribution::{
     AttributionDiff, AttributionEngine, AttributionSummary, ChannelConsumer, ChannelInfo, Phase,
 };
 pub use faults::{CampaignReport, FaultKind, FaultPlan, FaultRun, RunSummary};
+pub use health::{FallbackReason, HealthSample, KernelHealth};
 pub use json::Json;
 pub use kernel::{Clocked, Register, Simulation};
+pub use profile::{KernelPhase, KernelProfile};
 pub use rng::{RngState, SimRng};
 pub use snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 pub use stats::{Counter, Histogram, RunningStats};

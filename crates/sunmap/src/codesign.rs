@@ -56,7 +56,11 @@ pub fn link_loads(spec: &NocSpec, graph: &TaskGraph) -> Result<LinkLoads, Xpipes
         // Walk the route through the topology, loading each traversed
         // link (the final hop is the ejection port; count it too — it is
         // the switch-to-NI link).
-        let mut cur = spec.topology.ni(src).expect("validated").switch;
+        let mut cur = spec
+            .topology
+            .ni(src)
+            .ok_or(XpipesError::UnknownNi(src))?
+            .switch;
         for (i, hop) in route.hops().iter().enumerate() {
             *loads.entry((cur, *hop)).or_insert(0.0) += flow.bandwidth_mbps;
             if i + 1 < route.len() {

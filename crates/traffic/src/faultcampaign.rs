@@ -29,7 +29,7 @@ use xpipes_sim::attribution::{AttributionSummary, PHASE_COUNT};
 use xpipes_sim::snapshot::fnv64;
 use xpipes_sim::telemetry::TelemetrySummary;
 use xpipes_sim::{
-    CampaignReport, FaultKind, FaultPlan, FaultRun, RunSummary, Snapshot, SnapshotError,
+    CampaignReport, FaultKind, FaultPlan, FaultRun, Json, RunSummary, Snapshot, SnapshotError,
     SnapshotReader, SnapshotWriter,
 };
 use xpipes_topology::builders::mesh;
@@ -468,6 +468,90 @@ pub fn run_campaign_warm_parallel(
 /// fault-free baseline plus one point per fault model per error rate.
 pub fn grid_size(faults: &[FaultKind], cfg: &CampaignConfig) -> u64 {
     1 + (faults.len() * cfg.error_rates.len()) as u64
+}
+
+/// `(fault name, error rate)` of grid point `index` — `("baseline", 0.0)`
+/// for index 0. Introspection for progress journals and status displays.
+///
+/// # Panics
+///
+/// When `index` is outside `0..grid_size(faults, cfg)`.
+pub fn grid_point_label(faults: &[FaultKind], cfg: &CampaignConfig, index: u64) -> (String, f64) {
+    let jobs = campaign_jobs(faults, cfg);
+    let job = jobs
+        .iter()
+        .find(|j| j.index == index)
+        .unwrap_or_else(|| panic!("grid index {index} out of range ({} points)", jobs.len()));
+    (
+        job.kind
+            .map_or_else(|| "baseline".to_string(), |k| k.name().to_string()),
+        job.rate,
+    )
+}
+
+/// One per-grid-point progress-journal line: index, fault/rate label,
+/// pass/fail status, and the deterministic run counters. Every field is
+/// a pure function of the campaign seed and grid index — no wall-clock —
+/// so a progress journal is **byte-identical across `--jobs` worker
+/// counts** and across resumed runs.
+pub fn progress_line(faults: &[FaultKind], cfg: &CampaignConfig, point: &CompletedPoint) -> Json {
+    let (fault, rate) = grid_point_label(faults, cfg, point.index);
+    let pass = point.violations.is_empty() && point.summary.drained;
+    Json::object()
+        .field("point", Json::UInt(point.index))
+        .field("grid", Json::UInt(grid_size(faults, cfg)))
+        .field("fault", Json::str(fault))
+        .field("rate", Json::Fixed(rate, 4))
+        .field("status", Json::str(if pass { "pass" } else { "fail" }))
+        .field("cycles", Json::UInt(point.summary.cycles))
+        .field("delivered", Json::UInt(point.summary.packets_delivered))
+        .field("retransmissions", Json::UInt(point.summary.retransmissions))
+        .field("violations", Json::UInt(point.violations.len() as u64))
+        .field("drained", Json::Bool(point.summary.drained))
+        .build()
+}
+
+/// Runs the full campaign fanned out across `workers` threads (0 means
+/// host parallelism), invoking `on_point` with every completed grid
+/// point **in ascending grid order** as chunks finish — the hook behind
+/// `faultcampaign --progress`. Because each point is a pure function of
+/// the master seed and its index, the emission order and every point's
+/// content are independent of the worker count, and the returned report
+/// is byte-identical to [`run_campaign_parallel`] (or the warm variant
+/// when `warm` is given).
+///
+/// # Errors
+///
+/// Propagates assembly and checkpoint-decode failures.
+pub fn run_campaign_streaming(
+    spec: &NocSpec,
+    faults: &[FaultKind],
+    cfg: &CampaignConfig,
+    warm: Option<&WarmStart>,
+    workers: usize,
+    on_point: &mut dyn FnMut(&CompletedPoint),
+) -> Result<CampaignReport, XpipesError> {
+    let grid = grid_size(faults, cfg);
+    let workers = if workers == 0 {
+        xpipes_sim::parallel::worker_count(grid as usize)
+    } else {
+        workers
+    };
+    let indices: Vec<u64> = (0..grid).collect();
+    let mut points = Vec::with_capacity(grid as usize);
+    // Chunked at the worker count so completed points stream out as the
+    // campaign advances instead of all at once at the end.
+    for chunk in indices.chunks(workers.max(1)) {
+        let ran = xpipes_sim::parallel::parallel_map_ordered(chunk, workers, |_, &index| {
+            run_grid_point(spec, faults, cfg, index, warm)
+        });
+        for done in ran {
+            let point = done?;
+            on_point(&point);
+            points.push(point);
+        }
+    }
+    Ok(assemble_report(spec, faults, cfg, points))
 }
 
 /// Fingerprint of everything that determines a campaign's results:

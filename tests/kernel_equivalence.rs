@@ -368,6 +368,65 @@ fn time_jumping_matches_single_stepping() {
     assert_eq!(finish(true), finish(false));
 }
 
+/// Jump-aware telemetry: armed telemetry no longer forces cycle-by-cycle
+/// stepping. A telemetry-armed `run` still time-jumps across provably
+/// idle gaps, synthesizing the epoch samples the stepped run would have
+/// taken — and every telemetry artifact (registry, timeline, summary)
+/// plus the checkpoint renders byte-identically to single-stepping.
+#[test]
+fn telemetry_armed_jumps_match_stepped_sampling() {
+    let spec = campaign_spec();
+    let finish = |jump: bool| {
+        let mut noc = build(&spec, &FaultPlan::none(), Observers::None, 7);
+        noc.enable_telemetry(TelemetryConfig::full());
+        let mut driver = Driver::new(&spec, 0.05, 7 ^ 0x5EED);
+        for cycle in 0..600 {
+            driver.inject(&mut noc, cycle);
+            noc.step();
+        }
+        // Quiet stretch with a late interrupt, exactly the shape that
+        // used to pin telemetry runs to one step per cycle.
+        if jump {
+            noc.run(3000);
+        } else {
+            for _ in 0..3000 {
+                noc.step();
+            }
+        }
+        let t = Driver::new(&spec, 0.0, 0).targets[0];
+        let i = Driver::new(&spec, 0.0, 0).initiators[0];
+        noc.raise_interrupt(t, i).expect("raises");
+        if jump {
+            noc.run(200);
+        } else {
+            for _ in 0..200 {
+                noc.step();
+            }
+        }
+        driver.drain(&mut noc);
+        noc.flush_telemetry();
+        let artifacts = (
+            noc.now(),
+            fnv64(&noc.checkpoint()),
+            noc.telemetry_registry().map(|r| r.to_json().render()),
+            noc.timeline_json(),
+            format!("{:?}", noc.telemetry_summary()),
+        );
+        (artifacts, noc.kernel_health().clone())
+    };
+    let (jumped, jumped_health) = finish(true);
+    let (stepped, stepped_health) = finish(false);
+    assert_eq!(jumped, stepped, "jumped telemetry diverged from stepped");
+    // The jumped run really jumped (and stayed on the event kernel),
+    // synthesizing samples the stepped run took one cycle at a time.
+    assert!(jumped_health.time_jumps() > 0, "telemetry blocked the jump");
+    assert!(jumped_health.cycles_skipped() > 0);
+    assert!(jumped_health.synthetic_samples() > 0);
+    assert_eq!(jumped_health.fallback_steps(), 0);
+    assert_eq!(stepped_health.time_jumps(), 0);
+    assert!(jumped_health.steps() < stepped_health.steps());
+}
+
 /// `run_until_idle` with time jumps agrees with a manual is-idle loop.
 #[test]
 fn run_until_idle_matches_manual_drain() {

@@ -1,0 +1,183 @@
+//! Kernel-health observer contract tests.
+//!
+//! `KernelHealth` counts how the engine dispatched every step (event
+//! kernel vs full-scan fallback, with a reason histogram), how often
+//! time jumped and how many cycles that skipped. The counters are pure
+//! functions of the seeded simulation: this suite pins that they are
+//! deterministic across runs, agree between the event and reference
+//! kernels on everything except the dispatch mix itself (which is the
+//! very thing being measured — the reason histogram is exempt from
+//! cross-kernel comparison), and that the fault-campaign progress
+//! journal built on top of them is byte-identical across `--jobs`
+//! worker counts.
+
+use xpipes::monitor::MonitorConfig;
+use xpipes::noc::Noc;
+use xpipes_ocp::Request;
+use xpipes_sim::{FallbackReason, FaultKind, FaultPlan, KernelHealth, SimRng};
+use xpipes_topology::spec::NocSpec;
+use xpipes_topology::NiId;
+use xpipes_traffic::faultcampaign::{
+    campaign_spec, progress_line, run_campaign_parallel, run_campaign_streaming, CampaignConfig,
+};
+
+/// Minimal deterministic open-loop driver (kernel-agnostic: stepping is
+/// the caller's job).
+struct Driver {
+    rng: SimRng,
+    initiators: Vec<NiId>,
+    windows: Vec<(u64, u64)>,
+}
+
+impl Driver {
+    fn new(spec: &NocSpec, seed: u64) -> Self {
+        let initiators = spec
+            .topology
+            .nis_of_kind(xpipes_topology::NiKind::Initiator)
+            .map(|a| a.ni)
+            .collect();
+        let windows = spec
+            .topology
+            .nis_of_kind(xpipes_topology::NiKind::Target)
+            .map(|a| {
+                let r = spec.range_of(a.ni).expect("target mapped");
+                (r.base, r.size)
+            })
+            .collect();
+        Driver {
+            rng: SimRng::seed(seed),
+            initiators,
+            windows,
+        }
+    }
+
+    fn inject(&mut self, noc: &mut Noc) {
+        for idx in 0..self.initiators.len() {
+            if !self.rng.chance(0.08) {
+                continue;
+            }
+            let (base, size) = self.windows[self.rng.below(self.windows.len())];
+            let addr = base + (self.rng.next_u64() % (size / 8).max(1)) * 8;
+            if let Ok(req) = Request::read(addr, 4) {
+                let _ = noc.submit(self.initiators[idx], req);
+            }
+        }
+    }
+
+    fn drain(&self, noc: &mut Noc) {
+        for &ni in &self.initiators {
+            while let Ok(Some(_)) = noc.take_response(ni) {}
+        }
+    }
+}
+
+/// Drives one seeded run with the given stepper and returns its health.
+fn run_health(heavy: bool, step: fn(&mut Noc)) -> KernelHealth {
+    let spec = campaign_spec();
+    let mut noc = Noc::with_faults(&spec, 23, &FaultPlan::none()).expect("assembles");
+    if heavy {
+        noc.enable_trace();
+        noc.enable_monitor(MonitorConfig {
+            liveness_bound: 100_000,
+            max_violations: 64,
+        });
+    }
+    let mut driver = Driver::new(&spec, 23 ^ 0x5EED);
+    for _ in 0..500 {
+        driver.inject(&mut noc);
+        step(&mut noc);
+    }
+    for _ in 0..2000 {
+        if noc.is_idle() {
+            break;
+        }
+        step(&mut noc);
+    }
+    driver.drain(&mut noc);
+    noc.finish_monitor();
+    noc.kernel_health().clone()
+}
+
+/// The counters are a pure function of the seeded run: two identical
+/// runs produce identical `KernelHealth` (full structural equality,
+/// samples included).
+#[test]
+fn health_counters_are_deterministic() {
+    assert_eq!(run_health(false, Noc::step), run_health(false, Noc::step));
+    assert_eq!(run_health(true, Noc::step), run_health(true, Noc::step));
+}
+
+/// Event vs reference kernel on the same seeded run: both take the same
+/// number of steps; the dispatch mix differs by construction (that is
+/// what the counters measure), so only the totals are compared and the
+/// reason histogram is exempt.
+#[test]
+fn kernels_agree_on_step_totals_with_opposite_dispatch_mix() {
+    let event = run_health(false, Noc::step);
+    let reference = run_health(false, Noc::step_reference);
+    assert_eq!(event.steps(), reference.steps(), "step totals diverged");
+    // A bare network rides the event kernel exclusively…
+    assert_eq!(event.fallback_steps(), 0);
+    assert!(event.event_steps() > 0);
+    // …while a forced reference run is all fallback, attributed to
+    // schedule invalidation (no observer armed it).
+    assert_eq!(reference.event_steps(), 0);
+    assert_eq!(
+        reference.fallback_count(FallbackReason::ScheduleInvalidated),
+        reference.fallback_steps()
+    );
+}
+
+/// Tracing plus monitoring pushes every step to the full-scan kernel,
+/// and the reason histogram names both observers on every step.
+#[test]
+fn heavy_observers_show_up_in_the_reason_histogram() {
+    let health = run_health(true, Noc::step);
+    assert_eq!(health.event_steps(), 0);
+    assert!(health.fallback_steps() > 0);
+    assert_eq!(
+        health.fallback_count(FallbackReason::TraceArmed),
+        health.fallback_steps()
+    );
+    assert_eq!(
+        health.fallback_count(FallbackReason::MonitorArmed),
+        health.fallback_steps()
+    );
+    assert_eq!(health.fallback_count(FallbackReason::StallFaultsActive), 0);
+    // The rendered explanation names the armed observers.
+    let text = health.render();
+    assert!(text.contains("trace_armed"), "{text}");
+    assert!(text.contains("monitor_armed"), "{text}");
+}
+
+/// The per-grid-point campaign progress journal is built from
+/// deterministic fields only, so the stream is byte-identical across
+/// worker counts — and the streamed report matches the one-shot runner.
+#[test]
+fn campaign_progress_journal_is_byte_identical_across_jobs() {
+    let spec = campaign_spec();
+    let faults = [FaultKind::ALL[0], FaultKind::ALL[1]];
+    let mut cfg = CampaignConfig::new(7, 2000);
+    cfg.error_rates = vec![0.02];
+    cfg.flight_recorder_depth = 0;
+    let journal = |workers: usize| {
+        let mut lines = String::new();
+        let report = run_campaign_streaming(&spec, &faults, &cfg, None, workers, &mut |point| {
+            lines.push_str(&progress_line(&faults, &cfg, point).render_compact());
+            lines.push('\n');
+        })
+        .expect("campaign runs");
+        (lines, report.to_json())
+    };
+    let (serial_lines, serial_report) = journal(1);
+    let (parallel_lines, parallel_report) = journal(3);
+    assert_eq!(serial_lines, parallel_lines, "journal depends on --jobs");
+    assert_eq!(serial_report, parallel_report);
+    assert_eq!(serial_lines.lines().count(), 3, "baseline + 2 fault points");
+    assert!(serial_lines.contains("\"fault\":\"baseline\""));
+    // The streamed runner is a pure observer over the one-shot runner.
+    let oneshot = run_campaign_parallel(&spec, &faults, &cfg, 2)
+        .expect("campaign runs")
+        .to_json();
+    assert_eq!(serial_report, oneshot);
+}
