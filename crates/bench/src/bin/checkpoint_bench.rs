@@ -10,12 +10,15 @@
 //!
 //! `--progress PATH` streams stage-level NDJSON heartbeats (cold sweep,
 //! warm-up, warm sweep, final speedup) to PATH, or stderr for `-`.
+//! `--ledger PATH` appends one schema-versioned run record (planned
+//! warm-path work, warm-curve mean latency, and the cold/warm speedup
+//! the `xpipesobs check` sentinel watches) to the shared run ledger.
 //!
 //! ```text
 //! checkpoint_bench
 //! checkpoint_bench --warmup 8000 --window 4000 --rates 0.01,0.03,0.05
 //! checkpoint_bench --check BENCH_checkpoint.json --tolerance 0.25
-//! checkpoint_bench --progress progress.ndjson
+//! checkpoint_bench --progress progress.ndjson --ledger ledger.ndjson
 //! ```
 
 use std::process::ExitCode;
@@ -25,7 +28,8 @@ use xpipes_bench::checkpoint::{
     checkpoint_bench_json, parse_speedup, run_checkpoint_bench_observed, DEFAULT_RATES,
     DEFAULT_SEED, DEFAULT_WARMUP, DEFAULT_WINDOW,
 };
-use xpipes_bench::ProgressStream;
+use xpipes_bench::ledger;
+use xpipes_bench::progress::{open_sink, SinkMode};
 
 struct Args {
     rates: Vec<f64>,
@@ -36,6 +40,7 @@ struct Args {
     check: Option<String>,
     tolerance: f64,
     progress: Option<String>,
+    ledger: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
         check: None,
         tolerance: 0.25,
         progress: None,
+        ledger: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -86,11 +92,12 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --tolerance: {e}"))?;
             }
             "--progress" => args.progress = Some(value("--progress")?),
+            "--ledger" => args.ledger = Some(value("--ledger")?),
             "--help" | "-h" => {
                 println!(
                     "usage: checkpoint_bench [--rates R,..] [--warmup N] [--window N] \
                      [--seed N] [--out PATH] [--check BASELINE.json] [--tolerance F] \
-                     [--progress PATH]"
+                     [--progress PATH] [--ledger PATH]"
                 );
                 std::process::exit(0);
             }
@@ -108,15 +115,19 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let mut progress: Option<ProgressStream> = match &args.progress {
-        Some(path) => match ProgressStream::create(path) {
-            Ok(p) => Some(p),
-            Err(e) => {
-                eprintln!("error: cannot open progress sink {path}: {e}");
-                return ExitCode::from(2);
-            }
-        },
-        None => None,
+    let mut progress = match open_sink(args.progress.as_deref(), "progress", SinkMode::Truncate) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut ledger_sink = match open_sink(args.ledger.as_deref(), "ledger", SinkMode::Append) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
     };
     let bench = match run_checkpoint_bench_observed(
         &args.rates,
@@ -141,6 +152,9 @@ fn main() -> ExitCode {
         bench.warmup,
         bench.window
     );
+    if let Some(sink) = ledger_sink.as_mut() {
+        sink.emit(&ledger::checkpoint_record(&bench, args.seed));
+    }
     // Read the baseline before writing the fresh report, so checking
     // against the default output path never compares a file against
     // itself.

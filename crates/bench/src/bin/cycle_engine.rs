@@ -38,8 +38,11 @@
 //! (default 5000); `--explain-kernel` prints each workload's
 //! kernel-health table (dispatch mix, fallback-reason histogram, wheel
 //! depth, time jumps); `--profile` arms the wall-clock kernel phase
-//! profiler and prints the per-phase breakdown. None of these change
-//! any byte-compared artifact.
+//! profiler and prints the per-phase breakdown; `--ledger PATH` appends
+//! one schema-versioned record per timed workload (work counters,
+//! kernel dispatch mix, telemetry/attribution digests, wall-clock
+//! rates) to the shared run ledger read back by `xpipesobs`. None of
+//! these change any byte-compared artifact.
 //!
 //! ```text
 //! cycle_engine --cycles 200000
@@ -52,6 +55,7 @@
 //! cycle_engine --cycles 50000 --restore ck.bin --fingerprint-out fp.json
 //! cycle_engine --cycles 50000 --telemetry --progress progress.ndjson --explain-kernel
 //! cycle_engine --cycles 50000 --profile
+//! cycle_engine --cycles 50000 --ledger ledger.ndjson
 //! ```
 
 use std::process::ExitCode;
@@ -64,7 +68,8 @@ use xpipes_bench::cycle_engine::{
     resume_workload_observed, run_workload_observed, RunOptions, Workload, WorkloadResult,
     DEFAULT_CYCLES,
 };
-use xpipes_bench::ProgressStream;
+use xpipes_bench::ledger;
+use xpipes_bench::progress::{open_sink, SinkMode};
 use xpipes_sim::Json;
 
 struct Args {
@@ -90,6 +95,7 @@ struct Args {
     progress_every: Option<u64>,
     explain_kernel: bool,
     profile: bool,
+    ledger: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -115,6 +121,7 @@ fn parse_args() -> Result<Args, String> {
         progress_every: None,
         explain_kernel: false,
         profile: false,
+        ledger: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -173,6 +180,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--explain-kernel" => args.explain_kernel = true,
             "--profile" => args.profile = true,
+            "--ledger" => args.ledger = Some(value("--ledger")?),
             "--help" | "-h" => {
                 println!(
                     "usage: cycle_engine [--cycles N] [--out PATH] \
@@ -183,7 +191,7 @@ fn parse_args() -> Result<Args, String> {
                      [--workload NAME] [--checkpoint PATH --checkpoint-at N] \
                      [--restore PATH] [--fingerprint-out PATH] \
                      [--progress PATH] [--progress-every N] \
-                     [--explain-kernel] [--profile]"
+                     [--explain-kernel] [--profile] [--ledger PATH]"
                 );
                 std::process::exit(0);
             }
@@ -263,18 +271,25 @@ fn main() -> ExitCode {
 
     // The NDJSON heartbeat sink is shared by every timed run in this
     // invocation (restore or workload loop alike).
-    let mut progress: Option<ProgressStream> = match &args.progress {
-        Some(path) => match ProgressStream::create(path) {
-            Ok(p) => Some(match args.progress_every {
-                Some(n) => p.with_interval(n),
-                None => p,
-            }),
-            Err(e) => {
-                eprintln!("error: cannot open progress sink {path}: {e}");
-                return ExitCode::from(2);
-            }
-        },
-        None => None,
+    let mut progress = match open_sink(args.progress.as_deref(), "progress", SinkMode::Truncate) {
+        Ok(p) => p.map(|p| match args.progress_every {
+            Some(n) => p.with_interval(n),
+            None => p,
+        }),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // The run ledger accumulates history across invocations, so it is
+    // always opened in append mode. Opened before any timed run so a
+    // bad path fails fast instead of discarding a finished measurement.
+    let mut ledger_sink = match open_sink(args.ledger.as_deref(), "ledger", SinkMode::Append) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
     };
 
     // Restore mode: resume the saved state to --cycles, then fall
@@ -294,6 +309,12 @@ fn main() -> ExitCode {
                     "{:<20} {:>12.0} cycles/s  {:>12.0} flits/s  ({} cycles in {:.3}s, resumed)",
                     r.name, r.cycles_per_sec, r.flits_per_sec, r.cycles, r.elapsed_s
                 );
+                // Resumed runs record work, kernel mix, and wall rates;
+                // the telemetry/attribution sections need the live
+                // network, which a restore does not keep around.
+                if let Some(sink) = ledger_sink.as_mut() {
+                    sink.emit(&ledger::engine_record(&r, args.cycles, None, None));
+                }
                 Some(r)
             }
             Err(e) => {
@@ -348,6 +369,14 @@ fn main() -> ExitCode {
                     return code;
                 }
             }
+        }
+        if let Some(sink) = ledger_sink.as_mut() {
+            sink.emit(&ledger::engine_record(
+                &obs.result,
+                args.cycles,
+                Some(obs.telemetry_summary.clone()),
+                obs.attribution.as_ref(),
+            ));
         }
         if let Some(a) = obs.attribution {
             attribution_reports.push((w.name(), a));

@@ -24,9 +24,20 @@
 //!
 //! `--progress PATH` streams a per-grid-point NDJSON status journal
 //! (index, fault, rate, pass/fail, deterministic run counters) to PATH
-//! — or stderr for `-` — as points complete. Every field is a pure
-//! function of the seed and grid index, so the journal is
-//! byte-identical across `--jobs` worker counts.
+//! — or stderr for `-` — as points complete. Every per-point field is a
+//! pure function of the seed and grid index, so those lines are
+//! byte-identical across `--jobs` worker counts. The stream ends with
+//! one final-totals line (`"final": true`) carrying the campaign
+//! verdict plus the worker pool's wall-clock utilization — the one line
+//! that is *not* byte-compared, exactly like the `wall` section of a
+//! ledger record. When resuming, the sink is opened in append mode and
+//! only freshly executed points emit lines, so the journal from the
+//! interrupted run is extended rather than truncated.
+//!
+//! `--ledger PATH` appends one schema-versioned run record (work
+//! counters summed over the grid, verdict, baseline telemetry and
+//! attribution digests, wall-clock rates and pool utilization) to the
+//! shared run ledger; see `xpipes_bench::ledger` and `xpipesobs`.
 //!
 //! ```text
 //! faultcampaign --faults all --cycles 20000 --seed 7
@@ -34,19 +45,22 @@
 //! faultcampaign --jobs 1   # force serial execution
 //! faultcampaign --resume journal/ --checkpoint-every 2 --out report.json
 //! faultcampaign --warm-start 4000 --resume journal/
-//! faultcampaign --progress progress.ndjson
+//! faultcampaign --progress progress.ndjson --ledger ledger.ndjson
 //! ```
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
+use xpipes_bench::ledger;
+use xpipes_bench::progress::{open_sink, SinkMode};
 use xpipes_bench::ProgressStream;
-use xpipes_sim::parallel::{parallel_map_ordered, worker_count};
-use xpipes_sim::{FaultKind, Json};
+use xpipes_sim::parallel::{parallel_map_ordered_stats, worker_count, PoolStats};
+use xpipes_sim::{CampaignReport, FaultKind, Json};
 use xpipes_traffic::faultcampaign::{
     assemble_report, campaign_spec, config_fingerprint, grid_size, progress_line,
-    run_campaign_parallel, run_campaign_streaming, run_campaign_warm_parallel, run_grid_point,
-    warm_checkpoint, CampaignConfig, CompletedPoint, WarmStart,
+    run_campaign_streaming, run_grid_point, warm_checkpoint, CampaignConfig, CompletedPoint,
+    WarmStart,
 };
 
 struct Args {
@@ -61,6 +75,7 @@ struct Args {
     checkpoint_every: u64,
     warm_start: u64,
     progress: Option<String>,
+    ledger: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -76,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_every: 0,
         warm_start: 0,
         progress: None,
+        ledger: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -148,12 +164,13 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--progress" => args.progress = Some(value("--progress")?),
+            "--ledger" => args.ledger = Some(value("--ledger")?),
             "--help" | "-h" => {
                 println!(
                     "usage: faultcampaign [--faults all|NAME,..] [--cycles N] \
                      [--seed N] [--rates R,..] [--out PATH] [--jobs N] \
                      [--flight-depth N] [--resume DIR] [--checkpoint-every N] \
-                     [--warm-start CYCLES] [--progress PATH]\n\
+                     [--warm-start CYCLES] [--progress PATH] [--ledger PATH]\n\
                      fault models: {}",
                     FaultKind::ALL.map(|k| k.name()).join(", ")
                 );
@@ -256,14 +273,16 @@ fn journal_warm(
 /// points already journaled are loaded back; the rest execute in
 /// chunks of `--checkpoint-every`, each chunk fanned across `--jobs`
 /// and journaled on completion, so a kill loses at most one chunk.
-/// With `--progress`, every point (journal-loaded and fresh alike)
-/// emits its status line, so an uninterrupted resumed run's journal
-/// matches a fresh run's byte for byte.
+/// With `--progress`, only freshly executed points emit status lines —
+/// the sink is opened in append mode, so the interrupted run's lines
+/// stay in place and the resumed run extends them. The returned
+/// [`PoolStats`] cover the fresh points only (journal loads cost no
+/// pool time).
 fn run_resumable(
     args: &Args,
     cfg: &CampaignConfig,
     progress: &mut Option<ProgressStream>,
-) -> Result<xpipes_sim::CampaignReport, String> {
+) -> Result<(CampaignReport, PoolStats), String> {
     let dir = args.resume.as_deref().expect("resume dir");
     std::fs::create_dir_all(dir)
         .map_err(|e| format!("cannot create journal directory {}: {e}", dir.display()))?;
@@ -287,12 +306,7 @@ fn run_resumable(
         let path = point_path(dir, index);
         match std::fs::read(&path) {
             Ok(bytes) => match CompletedPoint::from_bytes(&bytes) {
-                Ok(point) if point.index == index => {
-                    if let Some(p) = progress.as_mut() {
-                        p.emit(&progress_line(&args.faults, cfg, &point));
-                    }
-                    points.push(point);
-                }
+                Ok(point) if point.index == index => points.push(point),
                 Ok(point) => {
                     return Err(format!(
                         "{} holds grid point {}, expected {index}",
@@ -330,10 +344,12 @@ fn run_resumable(
     } else {
         args.checkpoint_every as usize
     };
+    let mut pool = PoolStats::default();
     for chunk in remaining.chunks(chunk_len) {
-        let ran = parallel_map_ordered(chunk, workers, |_, &index| {
+        let (ran, stats) = parallel_map_ordered_stats(chunk, workers, |_, &index| {
             run_grid_point(&spec, &args.faults, cfg, index, warm.as_ref())
         });
+        pool.merge(&stats);
         for done in ran {
             let point = done.map_err(|e| format!("grid point failed: {e}"))?;
             let path = point_path(dir, point.index);
@@ -346,7 +362,24 @@ fn run_resumable(
         }
         eprintln!("journal: {}/{grid} grid points complete", points.len());
     }
-    Ok(assemble_report(&spec, &args.faults, cfg, points))
+    points.sort_by_key(|p| p.index);
+    Ok((assemble_report(&spec, &args.faults, cfg, points), pool))
+}
+
+/// The stream's closing totals line: campaign verdict plus the worker
+/// pool's wall-clock utilization. The only progress line that is not a
+/// pure function of the seed — consumers byte-comparing journals across
+/// `--jobs` must stop at `"final": true`, exactly as they skip a ledger
+/// record's `wall` section.
+fn final_line(report: &CampaignReport, grid: u64, pool: &PoolStats) -> Json {
+    Json::object()
+        .field("final", Json::Bool(true))
+        .field("points", Json::UInt(1 + report.runs.len() as u64))
+        .field("grid", Json::UInt(grid))
+        .field("pass", Json::Bool(report.pass))
+        .field("failures", Json::UInt(report.failures().count() as u64))
+        .field("pool", pool.to_json())
+        .build()
 }
 
 fn main() -> ExitCode {
@@ -364,17 +397,20 @@ fn main() -> ExitCode {
     if let Some(depth) = args.flight_depth {
         cfg.flight_recorder_depth = depth;
     }
-    let mut progress: Option<ProgressStream> = match &args.progress {
-        Some(path) => match ProgressStream::create(path) {
-            Ok(p) => Some(p),
-            Err(e) => {
-                eprintln!("error: cannot open progress sink {path}: {e}");
-                return ExitCode::from(2);
-            }
-        },
-        None => None,
+    let sink_mode = if args.resume.is_some() {
+        SinkMode::Append
+    } else {
+        SinkMode::Truncate
     };
-    let report = if args.resume.is_some() {
+    let mut progress = match open_sink(args.progress.as_deref(), "progress", sink_mode) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let started = Instant::now();
+    let (report, pool) = if args.resume.is_some() {
         match run_resumable(&args, &cfg, &mut progress) {
             Ok(r) => r,
             Err(e) => {
@@ -394,20 +430,19 @@ fn main() -> ExitCode {
         } else {
             None
         };
-        let run = if let Some(p) = progress.as_mut() {
-            run_campaign_streaming(
-                &campaign_spec(),
-                &args.faults,
-                &cfg,
-                warm.as_ref(),
-                args.jobs,
-                &mut |point| p.emit(&progress_line(&args.faults, &cfg, point)),
-            )
-        } else if let Some(warm) = &warm {
-            run_campaign_warm_parallel(&campaign_spec(), &args.faults, &cfg, warm, args.jobs)
-        } else {
-            run_campaign_parallel(&campaign_spec(), &args.faults, &cfg, args.jobs)
-        };
+        let progress = &mut progress;
+        let run = run_campaign_streaming(
+            &campaign_spec(),
+            &args.faults,
+            &cfg,
+            warm.as_ref(),
+            args.jobs,
+            &mut |point| {
+                if let Some(p) = progress.as_mut() {
+                    p.emit(&progress_line(&args.faults, &cfg, point));
+                }
+            },
+        );
         match run {
             Ok(r) => r,
             Err(e) => {
@@ -416,6 +451,26 @@ fn main() -> ExitCode {
             }
         }
     };
+    let elapsed_s = started.elapsed().as_secs_f64();
+    if let Some(p) = progress.as_mut() {
+        p.emit(&final_line(&report, grid_size(&args.faults, &cfg), &pool));
+    }
+    match open_sink(args.ledger.as_deref(), "ledger", SinkMode::Append) {
+        Ok(Some(mut sink)) => {
+            let fingerprint = config_fingerprint(&campaign_spec(), &args.faults, &cfg);
+            sink.emit(&ledger::campaign_record(
+                &report,
+                fingerprint,
+                elapsed_s,
+                Some(pool.to_json()),
+            ));
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    }
     let json = report.to_json();
     if let Some(path) = &args.out {
         if let Err(e) = std::fs::write(path, &json) {

@@ -204,6 +204,10 @@ pub struct WorkloadResult {
     pub flits_routed: u64,
     /// Packets delivered end to end (work fingerprint).
     pub packets_delivered: u64,
+    /// Flit retransmissions over all links (deterministic; excluded
+    /// from the work fingerprint, which predates it, but recorded in
+    /// the run ledger where the sentinel watches it).
+    pub retransmissions: u64,
     /// Kernel dispatch counters for the run (deterministic; excluded
     /// from the work fingerprint, which predates it).
     pub kernel_health: KernelHealth,
@@ -338,6 +342,7 @@ fn run_timed(
         flits_per_sec: stats.flits_routed as f64 / elapsed,
         flits_routed: stats.flits_routed,
         packets_delivered: stats.packets_delivered,
+        retransmissions: stats.retransmissions,
         kernel_health: noc.kernel_health().clone(),
     };
     Ok((noc, result))
@@ -371,6 +376,11 @@ pub struct ObservedRun {
     /// The kernel phase profile, when profiling was armed. Wall-clock
     /// data: emit only in sections excluded from byte comparison.
     pub kernel_profile: Option<Json>,
+    /// Per-run telemetry digest (total/per-link retransmissions, peak
+    /// queue depth). A pure function of end-of-run counters —
+    /// deterministic, available with or without the telemetry layer —
+    /// recorded in the run ledger.
+    pub telemetry_summary: Json,
 }
 
 /// Runs one reference workload with the observers selected in `opts`,
@@ -393,6 +403,7 @@ pub fn run_workload_observed(
         perfetto_json: noc.perfetto_json_with_health(),
         attribution: noc.attribution_report(),
         kernel_profile: noc.kernel_profile().map(|p| p.to_json()),
+        telemetry_summary: noc.telemetry_summary().to_json(),
     })
 }
 
@@ -603,6 +614,7 @@ pub fn resume_workload_observed(
         flits_per_sec: stats.flits_routed as f64 / elapsed,
         flits_routed: stats.flits_routed,
         packets_delivered: stats.packets_delivered,
+        retransmissions: stats.retransmissions,
         kernel_health: noc.kernel_health().clone(),
     })
 }
@@ -1024,6 +1036,7 @@ mod tests {
             flits_per_sec: 789.0,
             flits_routed: 400,
             packets_delivered: 20,
+            retransmissions: 0,
             kernel_health: KernelHealth::new(),
         };
         let text = report_json(&[r]).render();

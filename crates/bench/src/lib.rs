@@ -12,6 +12,7 @@ pub mod baseline;
 pub mod checkpoint;
 pub mod cycle_engine;
 pub mod experiments;
+pub mod ledger;
 pub mod progress;
 pub mod table;
 

@@ -14,7 +14,7 @@
 //! itself to deterministic fields so its stream is byte-identical
 //! across `--jobs` worker counts.
 
-use std::fs::File;
+use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Write};
 use std::time::Instant;
 
@@ -52,6 +52,27 @@ impl ProgressStream {
         })
     }
 
+    /// Opens `path` for appending (creating it if absent), or stderr for
+    /// `-`. Used by sinks that accumulate history across processes — the
+    /// run ledger, and progress journals of resumed campaigns — where
+    /// truncation would destroy the very record being extended.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open failures.
+    pub fn append(path: &str) -> io::Result<Self> {
+        let out: Box<dyn Write> = if path == "-" {
+            Box::new(io::stderr())
+        } else {
+            Box::new(OpenOptions::new().append(true).create(true).open(path)?)
+        };
+        Ok(ProgressStream {
+            out: BufWriter::new(out),
+            interval: DEFAULT_PROGRESS_INTERVAL,
+            start: Instant::now(),
+        })
+    }
+
     /// Overrides the heartbeat cadence (cycles per heartbeat).
     #[must_use]
     pub fn with_interval(mut self, interval: u64) -> Self {
@@ -69,6 +90,43 @@ impl ProgressStream {
     /// Wall-clock seconds since the stream was opened.
     pub fn elapsed_s(&self) -> f64 {
         self.start.elapsed().as_secs_f64()
+    }
+}
+
+/// How [`open_sink`] opens a file sink: truncating for fresh progress
+/// journals, appending for history-accumulating sinks (ledger, resumed
+/// campaign journals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkMode {
+    /// Start a fresh journal (`File::create` semantics).
+    Truncate,
+    /// Extend an existing journal, creating it if absent.
+    Append,
+}
+
+/// Shared `--progress`/`--ledger` sink opening for the bench binaries:
+/// `None` stays `None`, `-` streams to stderr, any other value names a
+/// file opened per `mode`. On failure the returned message follows the
+/// one-line error contract (the caller prefixes `error: ` and exits 2,
+/// exactly as with [`crate::baseline::load_baseline`]).
+///
+/// # Errors
+///
+/// Returns `cannot open <what> sink <path>: <cause>` when the file
+/// cannot be opened.
+pub fn open_sink(
+    path: Option<&str>,
+    what: &str,
+    mode: SinkMode,
+) -> Result<Option<ProgressStream>, String> {
+    let Some(path) = path else { return Ok(None) };
+    let opened = match mode {
+        SinkMode::Truncate => ProgressStream::create(path),
+        SinkMode::Append => ProgressStream::append(path),
+    };
+    match opened {
+        Ok(stream) => Ok(Some(stream)),
+        Err(e) => Err(format!("cannot open {what} sink {path}: {e}")),
     }
 }
 
@@ -110,6 +168,51 @@ mod tests {
         for line in lines {
             Json::parse(line).expect("each line is a standalone JSON object");
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_mode_extends_instead_of_truncating() {
+        let dir = std::env::temp_dir().join("xpipes_progress_append_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.ndjson");
+        let path_str = path.to_str().unwrap();
+        std::fs::remove_file(&path).ok();
+        {
+            let mut p = ProgressStream::append(path_str).unwrap();
+            p.emit(&Json::object().field("run", Json::UInt(1)).build());
+        }
+        {
+            let mut p = ProgressStream::append(path_str).unwrap();
+            p.emit(&Json::object().field("run", Json::UInt(2)).build());
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "second open must not truncate");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_sink_contract() {
+        assert!(open_sink(None, "progress", SinkMode::Truncate)
+            .unwrap()
+            .is_none());
+        let err = match open_sink(
+            Some("/nonexistent-dir/x.ndjson"),
+            "ledger",
+            SinkMode::Append,
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("opening a sink in a nonexistent directory must fail"),
+        };
+        assert!(
+            err.starts_with("cannot open ledger sink /nonexistent-dir/x.ndjson: "),
+            "one-line error contract: {err}"
+        );
+        let dir = std::env::temp_dir().join("xpipes_open_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sink.ndjson");
+        let opened = open_sink(path.to_str(), "progress", SinkMode::Truncate).unwrap();
+        assert!(opened.is_some());
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,269 @@
+//! Run-ledger integration contract, end to end through the binaries.
+//!
+//! The ledger's promises are cross-process by nature — records written
+//! by one invocation must be readable (and comparable) by the next —
+//! so this suite drives the real `cycle_engine`, `faultcampaign`, and
+//! `xpipesobs` executables:
+//!
+//! * deterministic record fields are byte-identical across `--jobs`;
+//! * `--ledger` appends across processes instead of truncating, and
+//!   `xpipesobs` reads the accumulated history back;
+//! * arming `--ledger` leaves the work fingerprint untouched;
+//! * the sentinel passes a flat history and fails an injected
+//!   throughput regression with exit code 2;
+//! * corrupted and future-schema lines are rejected with exit code 2.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use xpipes_bench::ledger::{deterministic_view, parse_ledger, RecordBuilder};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xpipes_ledger_it_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("cannot spawn {bin}: {e}"))
+}
+
+fn run_ok(bin: &str, args: &[&str]) -> Output {
+    let out = run(bin, args);
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    out
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("process exited")
+}
+
+#[test]
+fn campaign_ledger_deterministic_fields_are_byte_identical_across_jobs() {
+    let dir = temp_dir("jobs");
+    let ledger_for = |jobs: &str| {
+        let path = dir.join(format!("ledger-j{jobs}.ndjson"));
+        let path_str = path.to_str().unwrap().to_string();
+        run_ok(
+            env!("CARGO_BIN_EXE_faultcampaign"),
+            &[
+                "--faults",
+                "ack-loss,flit-corruption",
+                "--cycles",
+                "1500",
+                "--rates",
+                "0.02",
+                "--jobs",
+                jobs,
+                "--ledger",
+                &path_str,
+                "--out",
+                dir.join(format!("report-j{jobs}.json")).to_str().unwrap(),
+            ],
+        );
+        std::fs::read_to_string(&path).expect("ledger written")
+    };
+    let serial = ledger_for("1");
+    let parallel = ledger_for("4");
+    let views = |text: &str| -> Vec<String> {
+        parse_ledger(text, "test")
+            .expect("ledger validates")
+            .iter()
+            .map(|e| deterministic_view(&e.json).render_compact())
+            .collect()
+    };
+    assert_eq!(
+        views(&serial),
+        views(&parallel),
+        "deterministic ledger fields depend on --jobs"
+    );
+    // The quarantined wall section is the only difference allowed — and
+    // it must be present (elapsed, throughput, pool utilization).
+    let entries = parse_ledger(&serial, "test").unwrap();
+    assert_eq!(entries.len(), 1, "one campaign, one record");
+    let wall = entries[0].json.get("wall").expect("wall section recorded");
+    assert!(wall.get("pool").is_some(), "pool utilization recorded");
+    assert!(entries[0].metric("cycles_per_sec").is_some());
+}
+
+#[test]
+fn ledger_appends_across_processes_and_xpipesobs_reads_it_back() {
+    let dir = temp_dir("append");
+    let ledger = dir.join("ledger.ndjson");
+    let ledger_str = ledger.to_str().unwrap();
+    for i in 0..2 {
+        run_ok(
+            env!("CARGO_BIN_EXE_cycle_engine"),
+            &[
+                "--cycles",
+                "2000",
+                "--ledger",
+                ledger_str,
+                "--out",
+                dir.join(format!("report-{i}.json")).to_str().unwrap(),
+            ],
+        );
+    }
+    let text = std::fs::read_to_string(&ledger).unwrap();
+    let entries = parse_ledger(&text, "test").expect("ledger validates");
+    assert_eq!(
+        entries.len(),
+        4,
+        "two runs x two default workloads append, never truncate"
+    );
+    // Identical seeded work: the deterministic views of run 1 and run 2
+    // agree per workload, across separate processes.
+    assert_eq!(
+        deterministic_view(&entries[0].json).render_compact(),
+        deterministic_view(&entries[2].json).render_compact()
+    );
+    let list = run_ok(
+        env!("CARGO_BIN_EXE_xpipesobs"),
+        &["--ledger", ledger_str, "list"],
+    );
+    let stdout = String::from_utf8_lossy(&list.stdout).to_string();
+    assert!(stdout.contains("uniform_random_4x4"), "{stdout}");
+    assert!(stdout.contains("hotspot_4x4"), "{stdout}");
+    let trend = run_ok(
+        env!("CARGO_BIN_EXE_xpipesobs"),
+        &["--ledger", ledger_str, "trend", "cycles"],
+    );
+    let stdout = String::from_utf8_lossy(&trend.stdout).to_string();
+    assert!(stdout.contains("2 runs"), "{stdout}");
+}
+
+#[test]
+fn arming_the_ledger_leaves_the_work_fingerprint_unchanged() {
+    let dir = temp_dir("fingerprint");
+    let fp_for = |armed: bool| {
+        let fp = dir.join(format!("fp-{armed}.json"));
+        let mut args = vec![
+            "--workload".to_string(),
+            "uniform_random_4x4".to_string(),
+            "--cycles".to_string(),
+            "2000".to_string(),
+            "--out".to_string(),
+            dir.join(format!("report-{armed}.json"))
+                .to_str()
+                .unwrap()
+                .to_string(),
+            "--fingerprint-out".to_string(),
+            fp.to_str().unwrap().to_string(),
+        ];
+        if armed {
+            args.push("--ledger".to_string());
+            args.push(dir.join("ledger.ndjson").to_str().unwrap().to_string());
+        }
+        let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+        run_ok(env!("CARGO_BIN_EXE_cycle_engine"), &arg_refs);
+        std::fs::read(&fp).expect("fingerprint written")
+    };
+    assert_eq!(
+        fp_for(false),
+        fp_for(true),
+        "arming --ledger must not perturb the work fingerprint"
+    );
+}
+
+/// Synthesizes a ledger with the library builder (the same code the
+/// binaries run) so the sentinel contract is pinned without depending
+/// on real wall-clock noise.
+fn synthetic_history(cps_latest: f64) -> String {
+    let record = |cps: f64| {
+        RecordBuilder::new("cycle_engine", "uniform_random_4x4", 42, 0xFEED)
+            .work_u64("cycles", 50_000)
+            .work_u64("packets_delivered", 15_000)
+            .work_u64("retransmissions", 0)
+            .wall_fixed("elapsed_s", 0.2, 4)
+            .wall_fixed("cycles_per_sec", cps, 0)
+            .build()
+            .render_compact()
+    };
+    let mut text = String::new();
+    for i in 0..6 {
+        text.push_str(&record(300_000.0 + f64::from(i) * 2_000.0));
+        text.push('\n');
+    }
+    text.push_str(&record(cps_latest));
+    text.push('\n');
+    text
+}
+
+#[test]
+fn sentinel_passes_flat_history_and_fails_injected_regression_with_exit_2() {
+    let dir = temp_dir("sentinel");
+    let flat = dir.join("flat.ndjson");
+    std::fs::write(&flat, synthetic_history(304_000.0)).unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_xpipesobs"),
+        &["--ledger", flat.to_str().unwrap(), "check"],
+    );
+    assert_eq!(
+        exit_code(&out),
+        0,
+        "flat history must pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("within tolerance"));
+
+    // A 20% throughput drop against the same history must fail with the
+    // one-line error + exit-2 contract at default tolerances.
+    let regressed = dir.join("regressed.ndjson");
+    std::fs::write(&regressed, synthetic_history(305_000.0 * 0.8)).unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_xpipesobs"),
+        &["--ledger", regressed.to_str().unwrap(), "check"],
+    );
+    assert_eq!(exit_code(&out), 2, "regression must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.lines().any(|l| l.starts_with("error: ")),
+        "one-line error contract: {stderr}"
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("FAIL"));
+}
+
+#[test]
+fn corrupted_and_future_schema_ledgers_are_rejected_with_exit_2() {
+    let dir = temp_dir("reject");
+    let future = dir.join("future.ndjson");
+    let line = synthetic_history(300_000.0)
+        .lines()
+        .next()
+        .unwrap()
+        .replace("\"schema\":1", "\"schema\":99");
+    std::fs::write(&future, format!("{line}\n")).unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_xpipesobs"),
+        &["--ledger", future.to_str().unwrap(), "list"],
+    );
+    assert_eq!(exit_code(&out), 2);
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("schema version 99"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let corrupt = dir.join("corrupt.ndjson");
+    let whole = synthetic_history(300_000.0);
+    std::fs::write(&corrupt, &whole[..whole.len() / 3]).unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_xpipesobs"),
+        &["--ledger", corrupt.to_str().unwrap(), "check"],
+    );
+    assert_eq!(exit_code(&out), 2);
+    assert!(
+        String::from_utf8_lossy(&out.stderr).starts_with("error: "),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -32,6 +32,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::Json;
 
 /// Worker count for `jobs` independent jobs: the host's available
 /// parallelism, capped at the job count and floored at one.
@@ -41,6 +44,102 @@ pub fn worker_count(jobs: usize) -> usize {
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     hw.min(jobs).max(1)
+}
+
+/// Wall-clock utilization of one [`parallel_map_ordered_stats`] pool (or
+/// several merged chunked pools).
+///
+/// Every field here is wall-clock derived and therefore
+/// **nondeterministic**: pool stats belong in quarantined report
+/// sections (alongside `KernelProfile`) and must never leak into
+/// byte-compared artifacts. The mapped *results* stay deterministic; the
+/// stats only describe how the wall time was spent producing them.
+#[derive(Debug, Clone, Default)]
+pub struct PoolStats {
+    /// Peak worker count across the merged pool runs.
+    pub workers: usize,
+    /// Total items mapped.
+    pub items: u64,
+    /// Items completed by each worker slot (index = spawn order).
+    pub items_per_worker: Vec<u64>,
+    /// Seconds each worker slot spent inside the job closure.
+    pub busy_per_worker: Vec<f64>,
+    /// Wall-clock seconds spent inside the pool (summed across merges).
+    pub wall_s: f64,
+}
+
+impl PoolStats {
+    /// Fraction of the pool's total capacity (`workers * wall_s`) spent
+    /// inside job closures. 1.0 means every worker was busy the whole
+    /// time; low values mean workers idled at the tail or on the cursor.
+    #[must_use]
+    pub fn busy_fraction(&self) -> f64 {
+        let capacity = self.workers as f64 * self.wall_s;
+        if capacity > 0.0 {
+            (self.busy_per_worker.iter().sum::<f64>() / capacity).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Ratio of the busiest worker's item count to the ideal even share
+    /// (`items / workers`). 1.0 is perfectly balanced; large values mean
+    /// one worker drew most of the load.
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        let max = self.items_per_worker.iter().copied().max().unwrap_or(0) as f64;
+        let ideal = self.items as f64 / self.items_per_worker.len().max(1) as f64;
+        if ideal > 0.0 {
+            max / ideal
+        } else {
+            1.0
+        }
+    }
+
+    /// Folds another pool run (e.g. the next chunk of a chunked
+    /// campaign) into this one: per-worker slots add element-wise, wall
+    /// time accumulates (chunks run back to back, not concurrently).
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.workers = self.workers.max(other.workers);
+        self.items += other.items;
+        if self.items_per_worker.len() < other.items_per_worker.len() {
+            self.items_per_worker
+                .resize(other.items_per_worker.len(), 0);
+            self.busy_per_worker
+                .resize(other.busy_per_worker.len(), 0.0);
+        }
+        for (slot, n) in other.items_per_worker.iter().enumerate() {
+            self.items_per_worker[slot] += n;
+        }
+        for (slot, s) in other.busy_per_worker.iter().enumerate() {
+            self.busy_per_worker[slot] += s;
+        }
+        self.wall_s += other.wall_s;
+    }
+
+    /// Wall-clock JSON form for quarantined report sections.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let items: Vec<Json> = self
+            .items_per_worker
+            .iter()
+            .map(|&n| Json::UInt(n))
+            .collect();
+        let busy: Vec<Json> = self
+            .busy_per_worker
+            .iter()
+            .map(|&s| Json::Fixed(s, 4))
+            .collect();
+        Json::object()
+            .field("workers", Json::UInt(self.workers as u64))
+            .field("items", Json::UInt(self.items))
+            .field("items_per_worker", Json::Array(items))
+            .field("busy_s_per_worker", Json::Array(busy))
+            .field("busy_fraction", Json::Fixed(self.busy_fraction(), 3))
+            .field("imbalance", Json::Fixed(self.imbalance(), 2))
+            .field("wall_s", Json::Fixed(self.wall_s, 4))
+            .build()
+    }
 }
 
 /// Applies `f` to every item on up to `workers` scoped threads and
@@ -61,30 +160,84 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    parallel_map_ordered_stats(items, workers, f).0
+}
+
+/// [`parallel_map_ordered`] that also reports how the pool spent its
+/// wall time, for utilization surfacing in progress streams and run
+/// ledgers. The mapped results are byte-identical to the plain variant;
+/// only the (quarantined, wall-clock) [`PoolStats`] differ run to run.
+///
+/// # Panics
+///
+/// Propagates a panic from any job after all workers have stopped.
+pub fn parallel_map_ordered_stats<T, R, F>(items: &[T], workers: usize, f: F) -> (Vec<R>, PoolStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let workers = workers.min(items.len()).max(1);
+    let pool_start = Instant::now();
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let busy_start = Instant::now();
+        let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let busy = busy_start.elapsed().as_secs_f64();
+        let stats = PoolStats {
+            workers: 1,
+            items: items.len() as u64,
+            items_per_worker: vec![items.len() as u64],
+            busy_per_worker: vec![busy],
+            wall_s: pool_start.elapsed().as_secs_f64(),
+        };
+        return (out, stats);
     }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let worker_loads: Vec<Mutex<(u64, f64)>> = (0..workers).map(|_| Mutex::new((0, 0.0))).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let result = f(i, item);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
+        for load in &worker_loads {
+            let cursor = &cursor;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || {
+                let mut count = 0u64;
+                let mut busy = 0.0f64;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let job_start = Instant::now();
+                    let result = f(i, item);
+                    busy += job_start.elapsed().as_secs_f64();
+                    count += 1;
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                }
+                *load.lock().expect("worker load slot poisoned") = (count, busy);
             });
         }
     });
-    slots
+    let mut stats = PoolStats {
+        workers,
+        items: items.len() as u64,
+        items_per_worker: Vec::with_capacity(workers),
+        busy_per_worker: Vec::with_capacity(workers),
+        wall_s: 0.0,
+    };
+    for load in worker_loads {
+        let (count, busy) = load.into_inner().expect("worker load slot poisoned");
+        stats.items_per_worker.push(count);
+        stats.busy_per_worker.push(busy);
+    }
+    stats.wall_s = pool_start.elapsed().as_secs_f64();
+    let out = slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
                 .expect("result slot poisoned")
                 .expect("scope joined all workers, so every slot is filled")
         })
-        .collect()
+        .collect();
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -181,6 +334,76 @@ mod tests {
         let items = [5u64, 7, 11];
         let out = parallel_map_ordered(&items, 64, |i, &x| (i as u64) * 100 + x);
         assert_eq!(out, vec![5, 107, 211]);
+    }
+
+    #[test]
+    fn stats_account_for_every_item_exactly_once() {
+        let items: Vec<u64> = (0..37).collect();
+        for workers in [1, 2, 4, 9] {
+            let (out, stats) = parallel_map_ordered_stats(&items, workers, |_, &x| x + 1);
+            assert_eq!(out.len(), items.len());
+            assert_eq!(stats.items, items.len() as u64, "workers={workers}");
+            assert_eq!(
+                stats.items_per_worker.iter().sum::<u64>(),
+                items.len() as u64,
+                "workers={workers}"
+            );
+            assert_eq!(stats.workers, workers.min(items.len()).max(1));
+            assert_eq!(stats.items_per_worker.len(), stats.workers);
+            assert!(stats.wall_s >= 0.0);
+            assert!(stats.busy_fraction() >= 0.0 && stats.busy_fraction() <= 1.0);
+            assert!(stats.imbalance() >= 1.0 - 1e-9, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn stats_results_match_plain_variant() {
+        let items: Vec<u64> = (0..23).map(|i| i * 7 + 1).collect();
+        let plain = parallel_map_ordered(&items, 4, |i, &x| x.wrapping_mul(i as u64 + 1));
+        let (with_stats, _) =
+            parallel_map_ordered_stats(&items, 4, |i, &x| x.wrapping_mul(i as u64 + 1));
+        assert_eq!(plain, with_stats);
+    }
+
+    #[test]
+    fn stats_merge_accumulates_chunks() {
+        let chunk_a: Vec<u64> = (0..8).collect();
+        let chunk_b: Vec<u64> = (0..5).collect();
+        let (_, mut total) = parallel_map_ordered_stats(&chunk_a, 4, |_, &x| x);
+        let (_, tail) = parallel_map_ordered_stats(&chunk_b, 2, |_, &x| x);
+        let wall_before = total.wall_s;
+        total.merge(&tail);
+        assert_eq!(total.items, 13);
+        assert_eq!(total.workers, 4);
+        assert_eq!(total.items_per_worker.iter().sum::<u64>(), 13);
+        assert!(total.wall_s >= wall_before);
+    }
+
+    #[test]
+    fn stats_json_is_well_formed() {
+        let items: Vec<u64> = (0..6).collect();
+        let (_, stats) = parallel_map_ordered_stats(&items, 3, |_, &x| x);
+        let json = stats.to_json();
+        let parsed = Json::parse(&json.render_compact()).expect("pool stats render round-trips");
+        assert_eq!(parsed.get("items").and_then(Json::as_u64), Some(6));
+        assert_eq!(parsed.get("workers").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            parsed
+                .get("items_per_worker")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn empty_input_stats_are_benign() {
+        let items: [u8; 0] = [];
+        let (out, stats) = parallel_map_ordered_stats(&items, 4, |_, &x| x);
+        assert!(out.is_empty());
+        assert_eq!(stats.items, 0);
+        assert!(stats.busy_fraction() >= 0.0);
+        assert!((stats.imbalance() - 1.0).abs() < 1e-9);
     }
 
     #[test]

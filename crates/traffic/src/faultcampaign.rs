@@ -26,6 +26,7 @@ use xpipes::monitor::MonitorConfig;
 use xpipes::noc::{Noc, TelemetryConfig};
 use xpipes::XpipesError;
 use xpipes_sim::attribution::{AttributionSummary, PHASE_COUNT};
+use xpipes_sim::parallel::PoolStats;
 use xpipes_sim::snapshot::fnv64;
 use xpipes_sim::telemetry::TelemetrySummary;
 use xpipes_sim::{
@@ -518,7 +519,9 @@ pub fn progress_line(faults: &[FaultKind], cfg: &CampaignConfig, point: &Complet
 /// the master seed and its index, the emission order and every point's
 /// content are independent of the worker count, and the returned report
 /// is byte-identical to [`run_campaign_parallel`] (or the warm variant
-/// when `warm` is given).
+/// when `warm` is given). The returned [`PoolStats`] describe how the
+/// worker pool spent its wall clock; they are nondeterministic and must
+/// stay quarantined from byte-compared artifacts.
 ///
 /// # Errors
 ///
@@ -530,7 +533,7 @@ pub fn run_campaign_streaming(
     warm: Option<&WarmStart>,
     workers: usize,
     on_point: &mut dyn FnMut(&CompletedPoint),
-) -> Result<CampaignReport, XpipesError> {
+) -> Result<(CampaignReport, PoolStats), XpipesError> {
     let grid = grid_size(faults, cfg);
     let workers = if workers == 0 {
         xpipes_sim::parallel::worker_count(grid as usize)
@@ -539,19 +542,22 @@ pub fn run_campaign_streaming(
     };
     let indices: Vec<u64> = (0..grid).collect();
     let mut points = Vec::with_capacity(grid as usize);
+    let mut pool = PoolStats::default();
     // Chunked at the worker count so completed points stream out as the
     // campaign advances instead of all at once at the end.
     for chunk in indices.chunks(workers.max(1)) {
-        let ran = xpipes_sim::parallel::parallel_map_ordered(chunk, workers, |_, &index| {
-            run_grid_point(spec, faults, cfg, index, warm)
-        });
+        let (ran, stats) =
+            xpipes_sim::parallel::parallel_map_ordered_stats(chunk, workers, |_, &index| {
+                run_grid_point(spec, faults, cfg, index, warm)
+            });
+        pool.merge(&stats);
         for done in ran {
             let point = done?;
             on_point(&point);
             points.push(point);
         }
     }
-    Ok(assemble_report(spec, faults, cfg, points))
+    Ok((assemble_report(spec, faults, cfg, points), pool))
 }
 
 /// Fingerprint of everything that determines a campaign's results:

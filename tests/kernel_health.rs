@@ -162,11 +162,13 @@ fn campaign_progress_journal_is_byte_identical_across_jobs() {
     cfg.flight_recorder_depth = 0;
     let journal = |workers: usize| {
         let mut lines = String::new();
-        let report = run_campaign_streaming(&spec, &faults, &cfg, None, workers, &mut |point| {
-            lines.push_str(&progress_line(&faults, &cfg, point).render_compact());
-            lines.push('\n');
-        })
-        .expect("campaign runs");
+        let (report, pool) =
+            run_campaign_streaming(&spec, &faults, &cfg, None, workers, &mut |point| {
+                lines.push_str(&progress_line(&faults, &cfg, point).render_compact());
+                lines.push('\n');
+            })
+            .expect("campaign runs");
+        assert_eq!(pool.items, 3, "pool stats cover every grid point");
         (lines, report.to_json())
     };
     let (serial_lines, serial_report) = journal(1);
