@@ -455,20 +455,37 @@ fn main() -> ExitCode {
     if let Some(p) = progress.as_mut() {
         p.emit(&final_line(&report, grid_size(&args.faults, &cfg), &pool));
     }
-    match open_sink(args.ledger.as_deref(), "ledger", SinkMode::Append) {
-        Ok(Some(mut sink)) => {
-            let fingerprint = config_fingerprint(&campaign_spec(), &args.faults, &cfg);
-            sink.emit(&ledger::campaign_record(
-                &report,
-                fingerprint,
-                elapsed_s,
-                Some(pool.to_json()),
-            ));
-        }
-        Ok(None) => {}
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
+    // A resumable campaign appends its ledger record at most once per
+    // journal: a run killed after the append and resumed to completion
+    // finds the journal's marker and skips the duplicate.
+    let fingerprint = config_fingerprint(&campaign_spec(), &args.faults, &cfg);
+    let already_recorded = args
+        .resume
+        .as_deref()
+        .is_some_and(|dir| ledger::campaign_ledger_recorded(dir, fingerprint));
+    if already_recorded && args.ledger.is_some() {
+        eprintln!("journal: ledger record already appended by an earlier run; skipping");
+    } else {
+        match open_sink(args.ledger.as_deref(), "ledger", SinkMode::Append) {
+            Ok(Some(mut sink)) => {
+                sink.emit(&ledger::campaign_record(
+                    &report,
+                    fingerprint,
+                    elapsed_s,
+                    Some(pool.to_json()),
+                ));
+                if let Some(dir) = args.resume.as_deref() {
+                    if let Err(e) = ledger::record_campaign_ledger_appended(dir, fingerprint) {
+                        eprintln!("error: cannot mark ledger append in {}: {e}", dir.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
         }
     }
     let json = report.to_json();

@@ -19,7 +19,9 @@
 //!   watched metric left the tolerated band on the regression side.
 //!
 //! Every error follows the bench binaries' one-line `error: ...` +
-//! exit-2 contract, so CI output stays greppable.
+//! exit-2 contract, so CI output stays greppable. A missing or empty
+//! ledger is an ordinary state for `list` (one stdout line, exit 0) and
+//! an error everywhere else (one-line error, exit 2).
 //!
 //! ```text
 //! xpipesobs --ledger ledger.ndjson list
@@ -31,8 +33,8 @@
 use std::process::ExitCode;
 
 use xpipes_bench::ledger::{
-    check, compare, deterministic_view, read_ledger, render_checks, render_list, render_trend,
-    trend, CheckConfig, LedgerEntry,
+    check, compare, deterministic_view, read_ledger_if_exists, render_checks, render_list,
+    render_trend, trend, CheckConfig, LedgerEntry,
 };
 
 enum Command {
@@ -130,8 +132,17 @@ fn entry_at<'a>(
 }
 
 fn run(args: &Args) -> Result<ExitCode, String> {
-    let entries = read_ledger(&args.ledger)?;
+    // A ledger nobody has appended to yet is an ordinary state, not a
+    // failure: `list` reports it on stdout and exits 0 so fresh CI
+    // environments can probe the ledger without special-casing; every
+    // other command genuinely has nothing to answer with, so it keeps
+    // the one-line error + exit-2 contract.
+    let entries = read_ledger_if_exists(&args.ledger)?.unwrap_or_default();
     if entries.is_empty() {
+        if matches!(args.command, Command::List) {
+            println!("ledger {} holds no records", args.ledger);
+            return Ok(ExitCode::SUCCESS);
+        }
         return Err(format!("ledger {} holds no records", args.ledger));
     }
     match &args.command {

@@ -508,6 +508,51 @@ pub fn read_ledger(path: &str) -> Result<Vec<LedgerEntry>, String> {
     parse_ledger(&text, &format!("ledger {path}"))
 }
 
+/// [`read_ledger`], but a ledger that does not exist yet is `Ok(None)`
+/// rather than an I/O error — a ledger nobody has appended to is an
+/// ordinary state for `xpipesobs list`, not a failure.
+///
+/// # Errors
+///
+/// Everything [`read_ledger`] reports, except file-not-found.
+pub fn read_ledger_if_exists(path: &str) -> Result<Option<Vec<LedgerEntry>>, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse_ledger(&text, &format!("ledger {path}")).map(Some),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(format!("cannot read ledger {path}: {e}")),
+    }
+}
+
+/// Name of the marker file a resumable campaign drops in its journal
+/// directory after appending its ledger record, so a campaign that is
+/// killed *after* the append and then resumed to completion does not
+/// append a second record for the same run.
+pub const LEDGER_MARKER: &str = "ledger-appended";
+
+/// Whether journal directory `dir` already recorded its ledger append
+/// for the campaign with this config fingerprint. A marker left by a
+/// different configuration (a reused directory) does not count.
+#[must_use]
+pub fn campaign_ledger_recorded(dir: &std::path::Path, fingerprint: u64) -> bool {
+    match std::fs::read_to_string(dir.join(LEDGER_MARKER)) {
+        Ok(text) => text.trim() == format!("{fingerprint:016x}"),
+        Err(_) => false,
+    }
+}
+
+/// Drops the [`LEDGER_MARKER`] for this fingerprint in journal
+/// directory `dir`; call immediately after the ledger append succeeds.
+///
+/// # Errors
+///
+/// Propagates the write failure.
+pub fn record_campaign_ledger_appended(
+    dir: &std::path::Path,
+    fingerprint: u64,
+) -> std::io::Result<()> {
+    std::fs::write(dir.join(LEDGER_MARKER), format!("{fingerprint:016x}\n"))
+}
+
 /// One sentinel-checked metric and which direction is a regression.
 #[derive(Debug, Clone, Copy)]
 pub struct MetricSpec {

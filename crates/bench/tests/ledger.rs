@@ -11,7 +11,11 @@
 //! * arming `--ledger` leaves the work fingerprint untouched;
 //! * the sentinel passes a flat history and fails an injected
 //!   throughput regression with exit code 2;
-//! * corrupted and future-schema lines are rejected with exit code 2.
+//! * corrupted and future-schema lines are rejected with exit code 2;
+//! * a missing or empty ledger is an empty `list` (exit 0) but a
+//!   one-line exit-2 error for `trend`/`check`;
+//! * a campaign resumed from its journal appends exactly one ledger
+//!   record across however many runs it takes.
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -266,4 +270,123 @@ fn corrupted_and_future_schema_ledgers_are_rejected_with_exit_2() {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
+}
+
+#[test]
+fn missing_or_empty_ledgers_follow_the_exit_code_contract() {
+    let dir = temp_dir("absent");
+    let missing = dir.join("never-written.ndjson");
+    let missing_path = missing.to_str().unwrap();
+
+    // `list` on a ledger that does not exist yet is an empty answer,
+    // not an error: exit 0 with a one-line explanation.
+    let out = run(
+        env!("CARGO_BIN_EXE_xpipesobs"),
+        &["--ledger", missing_path, "list"],
+    );
+    assert_eq!(exit_code(&out), 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("holds no records"), "{stdout}");
+    assert_eq!(stdout.lines().count(), 1, "{stdout}");
+
+    // `trend` and `check` need history to say anything, so the same
+    // absence is a one-line error with exit code 2.
+    for cmd in [
+        vec!["--ledger", missing_path, "trend", "cycle-engine"],
+        vec!["--ledger", missing_path, "check"],
+    ] {
+        let out = run(env!("CARGO_BIN_EXE_xpipesobs"), &cmd);
+        assert_eq!(exit_code(&out), 2, "{cmd:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.starts_with("error: "), "{cmd:?}: {stderr}");
+        assert!(stderr.contains("holds no records"), "{cmd:?}: {stderr}");
+        assert_eq!(stderr.lines().count(), 1, "{cmd:?}: {stderr}");
+    }
+
+    // A ledger file that exists but holds zero records behaves the same
+    // as a missing one.
+    let empty = dir.join("empty.ndjson");
+    std::fs::write(&empty, "").unwrap();
+    let empty_path = empty.to_str().unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_xpipesobs"),
+        &["--ledger", empty_path, "list"],
+    );
+    assert_eq!(exit_code(&out), 0);
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("holds no records"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let out = run(
+        env!("CARGO_BIN_EXE_xpipesobs"),
+        &["--ledger", empty_path, "check"],
+    );
+    assert_eq!(exit_code(&out), 2);
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("holds no records"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn resumed_campaign_appends_exactly_one_ledger_record() {
+    let dir = temp_dir("resume_once");
+    let journal = dir.join("journal");
+    let ledger = dir.join("ledger.ndjson");
+    let base_args = [
+        "--faults",
+        "flit-corruption",
+        "--cycles",
+        "400",
+        "--rates",
+        "0.02",
+        "--seed",
+        "13",
+        "--resume",
+        journal.to_str().unwrap(),
+        "--ledger",
+        ledger.to_str().unwrap(),
+    ];
+
+    // First run completes the campaign and appends its record.
+    run_ok(env!("CARGO_BIN_EXE_faultcampaign"), &base_args);
+    let first = std::fs::read_to_string(&ledger).unwrap();
+    assert_eq!(first.lines().count(), 1);
+
+    // A rerun against the same journal — the recovery path after a
+    // kill-and-resume — replays the journaled points but must not
+    // append a second record for the same campaign.
+    let out = run_ok(env!("CARGO_BIN_EXE_faultcampaign"), &base_args);
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("already appended"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let second = std::fs::read_to_string(&ledger).unwrap();
+    assert_eq!(second, first, "resume appended a duplicate record");
+
+    // A *different* campaign against a fresh journal still appends, so
+    // the guard is keyed by configuration, not by ledger presence.
+    let journal2 = dir.join("journal2");
+    run_ok(
+        env!("CARGO_BIN_EXE_faultcampaign"),
+        &[
+            "--faults",
+            "ack-loss",
+            "--cycles",
+            "400",
+            "--rates",
+            "0.02",
+            "--seed",
+            "13",
+            "--resume",
+            journal2.to_str().unwrap(),
+            "--ledger",
+            ledger.to_str().unwrap(),
+        ],
+    );
+    let third = std::fs::read_to_string(&ledger).unwrap();
+    assert_eq!(third.lines().count(), 2);
 }

@@ -1,0 +1,249 @@
+//! Operator CLI for the campaign service (the `opteadm` to `xpipesd`'s
+//! engine).
+//!
+//! Every command opens one connection to `--connect` (default read
+//! from `xpipesd.port`, the daemon's `--port-file`):
+//!
+//! * `submit SPEC.json` — validate and submit a campaign spec (`-` for
+//!   stdin); prints the assigned id, grid size, fingerprint, and how
+//!   many points a prior journal already covered;
+//! * `status` — worker count and one row per campaign;
+//! * `watch ID` — stream the campaign's deterministic NDJSON progress
+//!   lines to stdout until it finishes (exit 0 pass, 1 fail, 2
+//!   canceled/failed);
+//! * `report ID [--out PATH]` — fetch the merged report, byte-identical
+//!   to the one-shot `faultcampaign` run (exit 1 on a failing verdict);
+//! * `pause ID` / `resume ID` / `cancel ID` — scheduling control;
+//! * `shutdown` — stop the daemon (local workers drain and exit).
+//!
+//! Errors follow the one-line `error: ...` + exit-2 contract.
+//!
+//! ```text
+//! xpipesadm --connect 127.0.0.1:9717 submit campaign.json
+//! xpipesadm --connect 127.0.0.1:9717 watch 1
+//! xpipesadm --connect 127.0.0.1:9717 report 1 --out report.json
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use xpipes_service::client;
+use xpipes_service::proto;
+use xpipes_sim::Json;
+
+enum Command {
+    Submit(String),
+    Status,
+    Watch(u64),
+    Report(u64, Option<String>),
+    Pause(u64),
+    Resume(u64),
+    Cancel(u64),
+    Shutdown,
+}
+
+struct Args {
+    connect: Option<String>,
+    command: Command,
+}
+
+fn value(it: &mut impl Iterator<Item = String>, name: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("{name} requires a value"))
+}
+
+fn id_value(it: &mut impl Iterator<Item = String>, name: &str) -> Result<u64, String> {
+    value(it, name)?
+        .parse()
+        .map_err(|e| format!("bad {name} ID: {e}"))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut connect = None;
+    let mut out = None;
+    let mut command = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => connect = Some(value(&mut it, "--connect")?),
+            "--out" => out = Some(value(&mut it, "--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: xpipesadm [--connect ADDR] COMMAND\n\
+                     commands:\n  \
+                     submit SPEC.json     submit a campaign ('-' reads stdin)\n  \
+                     status               worker count + one row per campaign\n  \
+                     watch ID             stream progress NDJSON until done\n  \
+                     report ID [--out P]  fetch the merged report\n  \
+                     pause ID | resume ID | cancel ID\n  \
+                     shutdown             stop the daemon"
+                );
+                std::process::exit(0);
+            }
+            "submit" if command.is_none() => {
+                command = Some(Command::Submit(value(&mut it, "submit")?));
+            }
+            "status" if command.is_none() => command = Some(Command::Status),
+            "watch" if command.is_none() => {
+                command = Some(Command::Watch(id_value(&mut it, "watch")?));
+            }
+            "report" if command.is_none() => {
+                command = Some(Command::Report(id_value(&mut it, "report")?, None));
+            }
+            "pause" if command.is_none() => {
+                command = Some(Command::Pause(id_value(&mut it, "pause")?));
+            }
+            "resume" if command.is_none() => {
+                command = Some(Command::Resume(id_value(&mut it, "resume")?));
+            }
+            "cancel" if command.is_none() => {
+                command = Some(Command::Cancel(id_value(&mut it, "cancel")?));
+            }
+            "shutdown" if command.is_none() => command = Some(Command::Shutdown),
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    let mut command = command.ok_or("no command given (try --help)")?;
+    if let Command::Report(_, slot) = &mut command {
+        *slot = out;
+    } else if out.is_some() {
+        return Err("--out only applies to 'report'".into());
+    }
+    Ok(Args { connect, command })
+}
+
+/// The daemon address: `--connect`, or the conventional port file the
+/// daemon writes.
+fn server_addr(args: &Args) -> Result<String, String> {
+    if let Some(addr) = &args.connect {
+        return Ok(addr.clone());
+    }
+    match std::fs::read_to_string("xpipesd.port") {
+        Ok(text) => Ok(text.trim().to_string()),
+        Err(_) => Err("no --connect ADDR and no xpipesd.port file in this directory".into()),
+    }
+}
+
+fn read_spec(path: &str) -> Result<Json, String> {
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("cannot read spec from stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read spec {path}: {e}"))?
+    };
+    Json::parse(&text).map_err(|e| format!("malformed spec {path}: {e}"))
+}
+
+fn field(json: &Json, key: &str) -> String {
+    json.get(key).map_or_else(
+        || "?".to_string(),
+        |v| v.as_str().map_or_else(|| v.render_compact(), String::from),
+    )
+}
+
+fn run(args: &Args) -> Result<ExitCode, String> {
+    let addr = server_addr(args)?;
+    match &args.command {
+        Command::Submit(path) => {
+            let spec = read_spec(path)?;
+            let reply = client::submit(&addr, &spec)?;
+            println!(
+                "submitted campaign {} (grid {}, fingerprint {}, {} points from journal)",
+                field(&reply, "id"),
+                field(&reply, "grid"),
+                field(&reply, "fingerprint"),
+                field(&reply, "resumed"),
+            );
+        }
+        Command::Status => {
+            let reply = client::request(&addr, &proto::msg("status").build())?;
+            println!("workers: {}", field(&reply, "workers"));
+            let campaigns = reply
+                .get("campaigns")
+                .and_then(Json::as_array)
+                .unwrap_or(&[]);
+            if campaigns.is_empty() {
+                println!("no campaigns");
+            }
+            for c in campaigns {
+                let mut row = format!(
+                    "campaign {} [{}] {}: {}/{} complete, {} pending, {} in flight",
+                    field(c, "id"),
+                    field(c, "name"),
+                    field(c, "state"),
+                    field(c, "completed"),
+                    field(c, "grid"),
+                    field(c, "pending"),
+                    field(c, "in_flight"),
+                );
+                if let Some(Json::Bool(pass)) = c.get("pass") {
+                    row.push_str(if *pass { ", pass" } else { ", FAIL" });
+                }
+                if let Some(error) = c.get("error").and_then(Json::as_str) {
+                    row.push_str(&format!(" ({error})"));
+                }
+                println!("{row}");
+            }
+        }
+        Command::Watch(id) => {
+            let done = client::watch(&addr, *id, &mut |line| {
+                println!("{}", line.render_compact());
+            })?;
+            let state = field(&done, "state");
+            let pass = matches!(done.get("pass"), Some(Json::Bool(true)));
+            eprintln!("campaign {id} {state}");
+            return Ok(match (state.as_str(), pass) {
+                ("done", true) => ExitCode::SUCCESS,
+                ("done", false) => ExitCode::FAILURE,
+                _ => ExitCode::from(2),
+            });
+        }
+        Command::Report(id, out) => {
+            let (pass, bytes) = client::fetch_report(&addr, *id)?;
+            if let Some(path) = out {
+                std::fs::write(path, &bytes).map_err(|e| format!("cannot write {path}: {e}"))?;
+            } else {
+                let text = String::from_utf8_lossy(&bytes);
+                print!("{text}");
+            }
+            if !pass {
+                eprintln!("campaign {id} FAILED");
+                return Ok(ExitCode::FAILURE);
+            }
+        }
+        Command::Pause(id) | Command::Resume(id) | Command::Cancel(id) => {
+            let verb = match &args.command {
+                Command::Pause(_) => "pause",
+                Command::Resume(_) => "resume",
+                _ => "cancel",
+            };
+            let msg = proto::msg(verb).field("id", Json::UInt(*id)).build();
+            let reply = client::request(&addr, &msg)?;
+            println!("campaign {id} {}", field(&reply, "state"));
+        }
+        Command::Shutdown => {
+            client::request(&addr, &proto::msg("shutdown").build())?;
+            println!("xpipesd at {addr} shutting down");
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

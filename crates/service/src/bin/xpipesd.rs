@@ -1,0 +1,149 @@
+//! The campaign service daemon.
+//!
+//! Serves the framed TCP protocol on `--listen` (default loopback,
+//! ephemeral port; the bound address goes to stderr and `--port-file`
+//! so scripts can find an ephemeral port). `--workers N` spawns N local
+//! worker processes (this same binary with `--worker`) against the
+//! bound address; remote machines join the same pool by running
+//! `xpipesd --worker --connect HOST:PORT`.
+//!
+//! Campaign journals live under `--state-dir`, one directory per
+//! campaign configuration, in the exact `faultcampaign --resume`
+//! format: kill the daemon mid-campaign, restart it, resubmit the same
+//! spec, and the campaign resumes from the journaled points. With
+//! `--ledger PATH` every completed campaign appends its summed record
+//! (exactly once per journal) for `xpipesobs`.
+//!
+//! Errors follow the bench binaries' one-line `error: ...` + exit-2
+//! contract.
+//!
+//! ```text
+//! xpipesd --workers 2 --state-dir state/ --ledger ledger.ndjson
+//! xpipesd --listen 0.0.0.0:9717 --port-file xpipesd.port
+//! xpipesd --worker --connect 127.0.0.1:9717
+//! ```
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use xpipes_service::worker::run_worker;
+use xpipes_service::{Server, ServerConfig};
+
+struct Args {
+    listen: String,
+    port_file: Option<String>,
+    workers: usize,
+    state_dir: String,
+    ledger: Option<String>,
+    max_attempts: u32,
+    worker: bool,
+    connect: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: "127.0.0.1:0".to_string(),
+        port_file: None,
+        workers: 0,
+        state_dir: "xpipesd-state".to_string(),
+        ledger: None,
+        max_attempts: 5,
+        worker: false,
+        connect: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen")?,
+            "--port-file" => args.port_file = Some(value("--port-file")?),
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--state-dir" => args.state_dir = value("--state-dir")?,
+            "--ledger" => args.ledger = Some(value("--ledger")?),
+            "--max-attempts" => {
+                args.max_attempts = value("--max-attempts")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-attempts: {e}"))?;
+                if args.max_attempts == 0 {
+                    return Err("--max-attempts must be at least 1".into());
+                }
+            }
+            "--worker" => args.worker = true,
+            "--connect" => args.connect = Some(value("--connect")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: xpipesd [--listen ADDR] [--port-file PATH] [--workers N]\n  \
+                     [--state-dir DIR] [--ledger PATH] [--max-attempts N]\n\
+                     usage: xpipesd --worker --connect ADDR"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if args.worker && args.connect.is_none() {
+        return Err("--worker requires --connect ADDR".into());
+    }
+    if !args.worker && args.connect.is_some() {
+        return Err("--connect requires --worker".into());
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    if args.worker {
+        let addr = args.connect.as_deref().expect("checked in parse_args");
+        return run_worker(addr);
+    }
+    let listener = TcpListener::bind(&args.listen)
+        .map_err(|e| format!("cannot listen on {}: {e}", args.listen))?;
+    let mut cfg = ServerConfig::new(&args.state_dir);
+    cfg.ledger = args.ledger.clone();
+    cfg.max_point_attempts = args.max_attempts;
+    let server = Server::start(listener, cfg).map_err(|e| format!("cannot start server: {e}"))?;
+    let addr = server.addr();
+    eprintln!("xpipesd: listening on {addr}");
+    if let Some(path) = &args.port_file {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let mut children = Vec::new();
+    for _ in 0..args.workers {
+        let child = std::process::Command::new(&exe)
+            .arg("--worker")
+            .arg("--connect")
+            .arg(addr.to_string())
+            .spawn()
+            .map_err(|e| format!("cannot spawn worker: {e}"))?;
+        children.push(child);
+    }
+    server.wait();
+    // Workers see the shutdown message on their next poll and exit on
+    // their own; reap them so the daemon leaves nothing behind.
+    for mut child in children {
+        let _ = child.wait();
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Campaign-as-a-service for the xpipes Lite reproduction.
+//!
+//! One-shot CLI campaigns (`faultcampaign`) sweep a fault grid on one
+//! machine and exit. This crate turns the same machinery into a
+//! long-running, multi-tenant service, composing the pieces the repo
+//! already has:
+//!
+//! * **`XPSN` checkpoint containers** are the unit of work
+//!   distribution — warm-start state ships to workers, completed grid
+//!   points ship back, each integrity-hashed;
+//! * **the `--resume` journal format** persists per-point progress, so
+//!   a killed worker's shard is reassigned and a killed *server*
+//!   resumes on resubmit;
+//! * **NDJSON progress streams** feed live `watch` sessions;
+//! * **the run ledger** records every completed campaign for
+//!   `xpipesobs` trends and the regression sentinel.
+//!
+//! Split into an engine daemon and an operator CLI (the OPTE
+//! `opteadm` pattern): [`server`] is `xpipesd`, [`client`] backs
+//! `xpipesadm`, [`worker`] is the compute loop either side of a
+//! machine boundary, [`proto`] the framed TCP wire format, and
+//! [`spec`] the campaign submission document.
+//!
+//! The load-bearing invariant everywhere: a campaign is a pure
+//! function of (seed, config), so a report computed through sharding,
+//! kills, reassignment, and resume is **byte-identical** to the serial
+//! one-shot run.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod spec;
+pub mod worker;
+
+pub use server::{Server, ServerConfig};
+pub use spec::CampaignSpec;
